@@ -1,0 +1,57 @@
+//! Criterion microbenchmark: the baseline coloring algorithms on a common
+//! instance, for the wall-clock column of the comparison.
+
+use cc_bench::experiments::practical_config;
+use cc_graph::generators;
+use cc_graph::instance::ListColoringInstance;
+use cc_sim::ExecutionModel;
+use clique_coloring::baselines::greedy::SequentialGreedy;
+use clique_coloring::baselines::mis_reduction::MisReductionColoring;
+use clique_coloring::baselines::trial::RandomizedTrialColoring;
+use clique_coloring::color_reduce::ColorReduce;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_baselines(c: &mut Criterion) {
+    let n = 500;
+    let graph = generators::gnp(n, 0.08, 5).unwrap();
+    let instance = ListColoringInstance::delta_plus_one(&graph).unwrap();
+    let model = ExecutionModel::congested_clique(n);
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    group.bench_function("color_reduce", |b| {
+        b.iter(|| {
+            ColorReduce::new(practical_config())
+                .run(&instance, model.clone())
+                .unwrap()
+                .rounds()
+        })
+    });
+    group.bench_function("sequential_greedy", |b| {
+        b.iter(|| SequentialGreedy.run(&instance, model.clone()).unwrap().report.rounds)
+    });
+    group.bench_function("randomized_trial", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            RandomizedTrialColoring::default()
+                .run(&instance, model.clone(), &mut rng)
+                .unwrap()
+                .report
+                .rounds
+        })
+    });
+    group.bench_function("mis_reduction", |b| {
+        b.iter(|| {
+            MisReductionColoring::default()
+                .run(&instance, model.clone())
+                .unwrap()
+                .report
+                .rounds
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

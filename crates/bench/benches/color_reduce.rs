@@ -1,0 +1,37 @@
+//! Criterion microbenchmark: end-to-end `ColorReduce` wall-clock time across
+//! instance sizes and densities (wall-clock is not the paper's metric — the
+//! simulated rounds are — but it keeps the implementation honest about
+//! constant factors).
+
+use cc_bench::experiments::practical_config;
+use cc_graph::generators;
+use cc_graph::instance::ListColoringInstance;
+use cc_sim::ExecutionModel;
+use clique_coloring::color_reduce::ColorReduce;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_color_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("color_reduce");
+    group.sample_size(10);
+    for &(n, p) in &[(300usize, 0.1f64), (600, 0.1), (600, 0.3), (1200, 0.1)] {
+        let graph = generators::gnp(n, p, 7).unwrap();
+        let instance = ListColoringInstance::delta_plus_one(&graph).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_p{p}")),
+            &instance,
+            |b, instance| {
+                b.iter(|| {
+                    let outcome = ColorReduce::new(practical_config())
+                        .run(instance, ExecutionModel::congested_clique(instance.node_count()))
+                        .unwrap();
+                    assert!(outcome.coloring().is_complete());
+                    outcome.rounds()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_color_reduce);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion microbenchmark: evaluation throughput of the c-wise independent
+//! hash families for the independence parameters used by the algorithms.
+
+use cc_hash::{BitSeed, PolynomialHashFamily};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_hash_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_eval");
+    for &independence in &[2usize, 4, 8] {
+        let family = PolynomialHashFamily::new(independence, 1 << 20, 64);
+        let seed = BitSeed::zeros(family.seed_bits()).canonical_completion(0, 42);
+        let coefficients = family.coefficients(&seed);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("c{independence}")),
+            &independence,
+            |b, _| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for x in 0..10_000u64 {
+                        acc ^= family.eval_with_coefficients(&coefficients, x);
+                    }
+                    acc
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_same_bin_count(c: &mut Criterion) {
+    c.bench_function("same_bin_count_64_bins", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for d in 1..200u64 {
+                acc ^= cc_hash::bins::same_bin_count(64, d * 12345);
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(benches, bench_hash_eval, bench_same_bin_count);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion microbenchmark: the low-space MPC (deg+1)-list coloring
+//! pipeline across ε values.
+
+use cc_graph::generators;
+use cc_graph::instance::ListColoringInstance;
+use cc_sim::ExecutionModel;
+use clique_coloring::low_space::{LowSpaceColorReduce, LowSpaceConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_low_space(c: &mut Criterion) {
+    let n = 400;
+    let graph = generators::power_law(n, 4, 9).unwrap();
+    let instance = ListColoringInstance::deg_plus_one(&graph).unwrap();
+    let mut group = c.benchmark_group("low_space");
+    group.sample_size(10);
+    for &epsilon in &[0.3f64, 0.5] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("eps{epsilon}")),
+            &epsilon,
+            |b, &epsilon| {
+                let config = LowSpaceConfig::scaled_down(epsilon);
+                let model =
+                    ExecutionModel::mpc_low_space(n, epsilon, instance.size_words() * 8);
+                b.iter(|| {
+                    LowSpaceColorReduce::new(config.clone())
+                        .run(&instance, model.clone())
+                        .unwrap()
+                        .rounds()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_low_space);
+criterion_main!(benches);

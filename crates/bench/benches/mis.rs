@@ -1,0 +1,43 @@
+//! Criterion microbenchmark: MIS substrate (greedy vs randomized Luby vs
+//! derandomized Luby) on the reduction graphs the low-space algorithm feeds
+//! it.
+
+use cc_graph::generators;
+use cc_graph::instance::ListColoringInstance;
+use cc_mis::derand::DerandomizedLubyMis;
+use cc_mis::greedy::greedy_mis;
+use cc_mis::luby::LubyMis;
+use cc_mis::reduction::ReductionGraph;
+use cc_sim::{ClusterContext, ExecutionModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_mis(c: &mut Criterion) {
+    let graph = generators::gnp(300, 0.05, 3).unwrap();
+    let instance = ListColoringInstance::deg_plus_one(&graph).unwrap();
+    let reduction = ReductionGraph::build(&instance);
+    let rgraph = reduction.graph().clone();
+    let mut group = c.benchmark_group("mis_on_reduction_graph");
+    group.sample_size(10);
+    group.bench_function("greedy", |b| b.iter(|| greedy_mis(&rgraph).size()));
+    group.bench_function("luby_randomized", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let mut ctx =
+                ClusterContext::new(ExecutionModel::congested_clique(rgraph.node_count()));
+            LubyMis::default().run(&mut ctx, &rgraph, &mut rng).size()
+        })
+    });
+    group.bench_function("luby_derandomized", |b| {
+        b.iter(|| {
+            let mut ctx =
+                ClusterContext::new(ExecutionModel::congested_clique(rgraph.node_count()));
+            DerandomizedLubyMis::default().run(&mut ctx, &rgraph).size()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mis);
+criterion_main!(benches);

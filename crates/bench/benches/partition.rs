@@ -1,0 +1,51 @@
+//! Criterion microbenchmark: a single derandomized `Partition` call (the
+//! inner loop of the algorithm — seed search plus classification).
+
+use cc_graph::generators;
+use cc_graph::instance::ListColoringInstance;
+use cc_graph::NodeId;
+use cc_sim::{ClusterContext, ExecutionModel};
+use clique_coloring::config::{ColorReduceConfig, SeedStrategy};
+use clique_coloring::good_bad::ActiveSubgraph;
+use clique_coloring::partition::partition;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+    for &candidates in &[4usize, 16, 64] {
+        let n = 800;
+        let graph = generators::gnp(n, 0.15, 3).unwrap();
+        let instance = ListColoringInstance::delta_plus_one(&graph).unwrap();
+        let palettes = instance.palettes().to_vec();
+        let nodes: Vec<NodeId> = graph.nodes().collect();
+        let sub = ActiveSubgraph::new(&graph, &palettes, &nodes);
+        let config = ColorReduceConfig {
+            independence: 2,
+            seed_strategy: SeedStrategy::Derandomized {
+                chunk_bits: 61,
+                candidates_per_chunk: candidates,
+                max_salts: 1,
+            },
+            ..ColorReduceConfig::default()
+        };
+        let ell = graph.max_degree() as u64;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("candidates{candidates}")),
+            &candidates,
+            |b, _| {
+                b.iter(|| {
+                    let mut ctx = ClusterContext::new(ExecutionModel::congested_clique(n));
+                    let out = partition(
+                        &mut ctx, "bench", &graph, &palettes, &sub, ell, 2, n, &config,
+                    );
+                    out.bad_nodes.len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerates the bad_nodes table (see EXPERIMENTS.md). Pass --quick for a
+//! fast, smaller-scale run.
+
+fn main() {
+    let scale = cc_bench::Scale::from_args();
+    cc_bench::experiments::e3_bad_nodes::run(scale);
+}

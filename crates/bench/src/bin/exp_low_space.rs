@@ -1,0 +1,7 @@
+//! Regenerates the low_space table (see EXPERIMENTS.md). Pass --quick for a
+//! fast, smaller-scale run.
+
+fn main() {
+    let scale = cc_bench::Scale::from_args();
+    cc_bench::experiments::e5_low_space::run(scale);
+}

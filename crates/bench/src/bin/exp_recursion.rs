@@ -1,0 +1,7 @@
+//! Regenerates the recursion table (see EXPERIMENTS.md). Pass --quick for a
+//! fast, smaller-scale run.
+
+fn main() {
+    let scale = cc_bench::Scale::from_args();
+    cc_bench::experiments::e4_recursion::run(scale);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the rounds table (see EXPERIMENTS.md). Pass --quick for a
+//! fast, smaller-scale run.
+
+fn main() {
+    let scale = cc_bench::Scale::from_args();
+    cc_bench::experiments::e1_rounds::run(scale);
+}

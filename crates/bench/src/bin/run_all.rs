@@ -1,0 +1,14 @@
+//! Runs every experiment (E1–E8) in sequence. Pass --quick for a fast run.
+
+fn main() {
+    let scale = cc_bench::Scale::from_args();
+    println!("running all experiments at {scale:?} scale");
+    cc_bench::experiments::e1_rounds::run(scale);
+    cc_bench::experiments::e2_space::run(scale);
+    cc_bench::experiments::e3_bad_nodes::run(scale);
+    cc_bench::experiments::e4_recursion::run(scale);
+    cc_bench::experiments::e5_low_space::run(scale);
+    cc_bench::experiments::e6_correctness::run(scale);
+    cc_bench::experiments::e7_comparison::run(scale);
+    cc_bench::experiments::e8_ablation::run(scale);
+}

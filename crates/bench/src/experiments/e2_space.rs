@@ -1,0 +1,85 @@
+//! E2 — Theorems 1.2/1.3: local and global space.
+//!
+//! Measures, per instance: peak words on one machine vs the O(𝔫) limit, peak
+//! total words vs the O(𝔫Δ) budget for explicit list palettes, and the same
+//! instance in (Δ+1)-coloring form with implicit palettes, whose storage is
+//! the O(𝔪+𝔫) representation of Section 3.6.
+
+use cc_graph::generators::{GraphFamily, PaletteKind};
+use clique_coloring::color_reduce::ColorReduce;
+
+use crate::records::{write_json, RunRecord};
+use crate::suite::InstanceSpec;
+use crate::table::{fmt_f64, Table};
+use crate::Scale;
+
+use super::{clique_model, graph_stats, practical_config};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) {
+    let n = scale.pick(600, 2000);
+    let densities: Vec<f64> = match scale {
+        Scale::Quick => vec![0.05, 0.2],
+        Scale::Full => vec![0.02, 0.05, 0.1, 0.2, 0.4],
+    };
+    let mut table = Table::new([
+        "instance",
+        "palettes",
+        "Δ",
+        "peak local (w)",
+        "local limit",
+        "local util",
+        "peak total (w)",
+        "n·Δ budget",
+        "m+n (implicit input)",
+        "in-model",
+    ]);
+    let mut records = Vec::new();
+    for &p in &densities {
+        for (kind, kind_label) in [
+            (PaletteKind::DeltaPlusOne, "implicit (Δ+1)"),
+            (
+                PaletteKind::DeltaPlusOneList {
+                    universe: 8 * n as u64,
+                },
+                "explicit lists",
+            ),
+        ] {
+            let spec = InstanceSpec::new(
+                format!("gnp(n={n},p={p})"),
+                GraphFamily::Gnp { p },
+                n,
+                kind,
+                13,
+            );
+            let instance = spec.build();
+            let stats = graph_stats(&instance);
+            let outcome = ColorReduce::new(practical_config())
+                .run(&instance, clique_model(&instance))
+                .expect("E2 colorreduce");
+            outcome.coloring().verify(&instance).expect("E2 verify");
+            let report = outcome.report();
+            let n_delta_budget = stats.0 * (stats.2 + 1);
+            let m_plus_n = 2 * stats.1 + stats.0;
+            table.row([
+                spec.label.clone(),
+                kind_label.to_string(),
+                stats.2.to_string(),
+                report.peak_local_words.to_string(),
+                report.local_space_limit.to_string(),
+                fmt_f64(report.local_space_utilization()),
+                report.peak_total_words.to_string(),
+                n_delta_budget.to_string(),
+                m_plus_n.to_string(),
+                if report.within_limits() { "yes" } else { "NO" }.to_string(),
+            ]);
+            records.push(
+                RunRecord::from_report("E2", &spec.label, kind_label, stats, report)
+                    .with_extra("n_delta_budget", n_delta_budget as f64)
+                    .with_extra("m_plus_n", m_plus_n as f64),
+            );
+        }
+    }
+    table.print("E2  space usage vs the O(𝔫) local / O(𝔫Δ) and O(𝔪+𝔫) global budgets");
+    write_json("e2_space", &records);
+}

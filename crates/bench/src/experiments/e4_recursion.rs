@@ -1,0 +1,103 @@
+//! E4 — Lemmas 3.11–3.14: recursion structure.
+//!
+//! Records the per-depth maxima of the recursion trace (ℓ, nodes, degree,
+//! instance size) and compares them against the paper's closed-form bounds
+//! from `clique_coloring::theory`, for the paper configuration and the
+//! scaled-down configuration that exercises wider fan-out at laptop scale.
+
+use cc_graph::generators::{GraphFamily, PaletteKind};
+use clique_coloring::color_reduce::ColorReduce;
+use clique_coloring::config::ColorReduceConfig;
+use clique_coloring::theory;
+
+use crate::records::{write_json, RunRecord};
+use crate::suite::InstanceSpec;
+use crate::table::{fmt_f64, Table};
+use crate::Scale;
+
+use super::{clique_model, graph_stats, practical_config};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) {
+    let n = scale.pick(800, 2500);
+    let p = 0.3;
+    for (config_label, config) in [
+        ("paper exponents (β=0.1)", practical_config()),
+        (
+            "scaled-down exponents (β=0.4)",
+            ColorReduceConfig {
+                bin_exponent: 0.4,
+                ..practical_config()
+            },
+        ),
+    ] {
+        let spec = InstanceSpec::new(
+            format!("gnp(n={n},p={p})"),
+            GraphFamily::Gnp { p },
+            n,
+            PaletteKind::DeltaPlusOne,
+            31,
+        );
+        let instance = spec.build();
+        let stats = graph_stats(&instance);
+        let delta = stats.2 as u64;
+        let decay = 1.0 - config.bin_exponent;
+        let outcome = ColorReduce::new(config)
+            .run(&instance, clique_model(&instance))
+            .expect("E4 colorreduce");
+        outcome.coloring().verify(&instance).expect("E4 verify");
+        let mut table = Table::new([
+            "depth",
+            "calls",
+            "max ℓ",
+            "ℓ bound (L3.11)",
+            "max nodes",
+            "node bound (L3.12)",
+            "max degree",
+            "degree bound (L3.13)",
+            "max size (w)",
+            "size bound (L3.14)",
+            "collected",
+        ]);
+        let mut records = Vec::new();
+        for row in outcome.trace().depth_summary() {
+            let depth = row.depth as u32;
+            let (_, ell_hi) = theory::ell_bounds(delta, depth, decay);
+            let node_bound = theory::node_count_bound(n, delta, depth, decay);
+            let degree_bound = theory::degree_bound(delta, depth, decay);
+            let size_bound = theory::instance_size_bound(n, delta, depth, decay);
+            table.row([
+                row.depth.to_string(),
+                row.calls.to_string(),
+                row.max_ell.to_string(),
+                fmt_f64(ell_hi),
+                row.max_nodes.to_string(),
+                fmt_f64(node_bound),
+                row.max_degree.to_string(),
+                fmt_f64(degree_bound),
+                row.max_size_words.to_string(),
+                fmt_f64(size_bound),
+                row.collected.to_string(),
+            ]);
+            records.push(
+                RunRecord::from_report("E4", &spec.label, config_label, stats, outcome.report())
+                    .with_extra("depth", row.depth as f64)
+                    .with_extra("max_ell", row.max_ell as f64)
+                    .with_extra("ell_bound", ell_hi)
+                    .with_extra("max_nodes", row.max_nodes as f64)
+                    .with_extra("node_bound", node_bound)
+                    .with_extra("max_size_words", row.max_size_words as f64)
+                    .with_extra("size_bound", size_bound),
+            );
+        }
+        table.print(&format!(
+            "E4  recursion trace vs closed-form bounds — {config_label} (n={n}, Δ={delta}, max depth {}, paper guarantee ≤ {})",
+            outcome.trace().max_depth(),
+            theory::guaranteed_collection_depth(decay),
+        ));
+        write_json(
+            &format!("e4_recursion_{}", if config_label.starts_with("paper") { "paper" } else { "scaled" }),
+            &records,
+        );
+    }
+}

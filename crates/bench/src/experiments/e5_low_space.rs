@@ -1,0 +1,93 @@
+//! E5 — Theorem 1.4: low-space MPC (deg+1)-list coloring.
+//!
+//! Measures total rounds — decomposed into partitioning rounds and MIS
+//! rounds — across 𝔫 and ε, plus the peak per-machine space against the
+//! 𝔫^ε limit. The paper predicts O(log Δ + log log 𝔫) rounds; our MIS
+//! substrate is the derandomized Luby algorithm (substitution #3), so the
+//! MIS component is expected to grow like log of the reduction-graph size.
+
+use cc_graph::generators::{GraphFamily, PaletteKind};
+use cc_sim::ExecutionModel;
+use clique_coloring::low_space::{LowSpaceColorReduce, LowSpaceConfig};
+
+use crate::records::{write_json, RunRecord};
+use crate::suite::InstanceSpec;
+use crate::table::{fmt_f64, Table};
+use crate::Scale;
+
+use super::graph_stats;
+
+/// Runs the experiment.
+pub fn run(scale: Scale) {
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![400, 800],
+        Scale::Full => vec![500, 1000, 2000, 4000],
+    };
+    let epsilons = [0.3, 0.5];
+    let mut table = Table::new([
+        "n",
+        "Δ",
+        "ε",
+        "rounds",
+        "partition levels",
+        "MIS calls",
+        "MIS phases",
+        "log2 Δ + loglog n",
+        "peak local (w)",
+        "local limit (≈𝔫^ε)",
+        "in-model",
+    ]);
+    let mut records = Vec::new();
+    for &n in &sizes {
+        for &epsilon in &epsilons {
+            let spec = InstanceSpec::new(
+                format!("powerlaw(n={n})"),
+                GraphFamily::PowerLaw { edges_per_node: 5 },
+                n,
+                PaletteKind::DegPlusOneList { universe: 8 * n as u64 },
+                41,
+            );
+            let instance = spec.build();
+            let stats = graph_stats(&instance);
+            let config = LowSpaceConfig::scaled_down(epsilon);
+            // Theorem 1.4's global budget: O(𝔪 + 𝔫^{1+ε}) words.
+            let total_budget = 8 * (2 * stats.1 + n + (n as f64).powf(1.0 + epsilon) as usize);
+            let model = ExecutionModel::mpc_low_space(n, epsilon, total_budget);
+            let outcome = LowSpaceColorReduce::new(config)
+                .run(&instance, model)
+                .expect("E5 low-space");
+            outcome.coloring.verify(&instance).expect("E5 verify");
+            let prediction =
+                (stats.2.max(2) as f64).log2() + (n as f64).ln().ln().max(0.0);
+            table.row([
+                n.to_string(),
+                stats.2.to_string(),
+                format!("{epsilon:.1}"),
+                outcome.rounds().to_string(),
+                outcome.partition_levels.to_string(),
+                outcome.mis_calls.to_string(),
+                outcome.mis_phases.to_string(),
+                fmt_f64(prediction),
+                outcome.report.peak_local_words.to_string(),
+                outcome.report.local_space_limit.to_string(),
+                if outcome.report.within_limits() { "yes" } else { "NO" }.to_string(),
+            ]);
+            records.push(
+                RunRecord::from_report(
+                    "E5",
+                    &spec.label,
+                    &format!("low-space(eps={epsilon})"),
+                    stats,
+                    &outcome.report,
+                )
+                .with_extra("partition_levels", outcome.partition_levels as f64)
+                .with_extra("mis_phases", outcome.mis_phases as f64)
+                .with_extra("mis_calls", outcome.mis_calls as f64)
+                .with_extra("log_prediction", prediction)
+                .with_extra("safety_moves", outcome.safety_moves as f64),
+            );
+        }
+    }
+    table.print("E5  low-space MPC (deg+1)-list coloring: rounds scale with log Δ + log log n, not n");
+    write_json("e5_low_space", &records);
+}

@@ -1,0 +1,141 @@
+//! Machine-readable experiment records (JSON), so EXPERIMENTS.md numbers can
+//! be regenerated and diffed.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// One measured run of one algorithm on one instance.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct RunRecord {
+    /// Experiment id (e.g. "E1").
+    pub experiment: String,
+    /// Instance label.
+    pub instance: String,
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of edges.
+    pub m: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Simulated rounds.
+    pub rounds: u64,
+    /// Words communicated.
+    pub communication_words: u64,
+    /// Peak single-machine space in words.
+    pub peak_local_words: usize,
+    /// Peak total space in words.
+    pub peak_total_words: usize,
+    /// Whether all model constraints held.
+    pub within_limits: bool,
+    /// Free-form extra measurements (name, value).
+    pub extra: Vec<(String, f64)>,
+}
+
+/// Writes records as pretty JSON under `target/experiments/<name>.json`.
+///
+/// Returns the path written. Errors are reported to stderr and swallowed —
+/// failing to persist a JSON copy must never fail an experiment run.
+pub fn write_json(name: &str, records: &[RunRecord]) -> Option<PathBuf> {
+    let dir = Path::new("target").join("experiments");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: could not create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{name}.json"));
+    let json = match serde_json::to_string_pretty(records) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("warning: could not serialize {name}: {e}");
+            return None;
+        }
+    };
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: could not write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+impl RunRecord {
+    /// Convenience constructor from an execution report.
+    pub fn from_report(
+        experiment: &str,
+        instance: &str,
+        algorithm: &str,
+        stats: (usize, usize, usize),
+        report: &cc_sim::report::ExecutionReport,
+    ) -> Self {
+        RunRecord {
+            experiment: experiment.to_string(),
+            instance: instance.to_string(),
+            algorithm: algorithm.to_string(),
+            n: stats.0,
+            m: stats.1,
+            max_degree: stats.2,
+            rounds: report.rounds,
+            communication_words: report.communication_words,
+            peak_local_words: report.peak_local_words,
+            peak_total_words: report.peak_total_words,
+            within_limits: report.within_limits(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Adds an extra named measurement.
+    pub fn with_extra(mut self, name: &str, value: f64) -> Self {
+        self.extra.push((name.to_string(), value));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunRecord {
+        RunRecord {
+            experiment: "E1".into(),
+            instance: "gnp".into(),
+            algorithm: "color-reduce".into(),
+            n: 10,
+            m: 20,
+            max_degree: 5,
+            rounds: 7,
+            communication_words: 100,
+            peak_local_words: 50,
+            peak_total_words: 200,
+            within_limits: true,
+            extra: vec![("bad_nodes".into(), 0.0)],
+        }
+    }
+
+    #[test]
+    fn records_serialize_to_json() {
+        let json = serde_json::to_string(&[sample()]).unwrap();
+        assert!(json.contains("\"experiment\":\"E1\""));
+        assert!(json.contains("bad_nodes"));
+    }
+
+    #[test]
+    fn with_extra_appends() {
+        let r = sample().with_extra("depth", 3.0);
+        assert_eq!(r.extra.len(), 2);
+        assert_eq!(r.extra[1], ("depth".to_string(), 3.0));
+    }
+
+    #[test]
+    fn write_json_creates_file() {
+        let path = write_json("unit-test-record", &[sample()]);
+        if let Some(p) = path {
+            assert!(p.exists());
+            let contents = std::fs::read_to_string(p).unwrap();
+            assert!(contents.contains("color-reduce"));
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Sequential greedy list coloring as a centralized baseline.
+
+use cc_graph::instance::ListColoringInstance;
+use cc_graph::coloring::Coloring;
+use cc_graph::NodeId;
+use cc_sim::primitives::collect_to_single_machine;
+use cc_sim::{ClusterContext, ExecutionModel};
+
+use crate::error::CoreError;
+use crate::local_color::color_greedily;
+
+use super::{outcome, BaselineOutcome};
+
+/// Collects the whole instance onto one machine and colors it greedily.
+///
+/// This is the correctness ground truth and the "zero distribution" extreme
+/// of the comparison table: constant rounds, but the collection step needs
+/// Θ(𝔫Δ) words on a single machine, which violates the CONGESTED CLIQUE /
+/// MPC space bound for dense graphs (the violation shows up in the report).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialGreedy;
+
+impl SequentialGreedy {
+    /// Runs the baseline.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the instance itself is invalid.
+    pub fn run(
+        &self,
+        instance: &ListColoringInstance,
+        model: ExecutionModel,
+    ) -> Result<BaselineOutcome, CoreError> {
+        instance.validate()?;
+        let mut ctx = ClusterContext::new(model);
+        collect_to_single_machine(&mut ctx, "collect-everything", instance.size_words())?;
+        let mut coloring = Coloring::empty(instance.node_count());
+        let order: Vec<NodeId> = instance.graph().nodes().collect();
+        color_greedily(instance.graph(), instance.palettes(), &mut coloring, &order)?;
+        Ok(outcome("sequential-greedy", coloring, ctx.report()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::generators::{self, instance_with_palettes, PaletteKind};
+
+    #[test]
+    fn greedy_baseline_colors_correctly() {
+        let graph = generators::gnp(100, 0.1, 1).unwrap();
+        let instance =
+            instance_with_palettes(&graph, PaletteKind::DegPlusOneList { universe: 2000 }, 2)
+                .unwrap();
+        let out = SequentialGreedy.run(&instance, ExecutionModel::congested_clique(100)).unwrap();
+        out.coloring.verify(&instance).unwrap();
+        assert_eq!(out.name, "sequential-greedy");
+        assert!(out.report.rounds > 0);
+    }
+
+    #[test]
+    fn dense_instances_violate_single_machine_space() {
+        let graph = generators::gnp(300, 0.5, 2).unwrap();
+        let instance = ListColoringInstance::delta_plus_one(&graph).unwrap();
+        let out = SequentialGreedy.run(&instance, ExecutionModel::congested_clique(300)).unwrap();
+        out.coloring.verify(&instance).unwrap();
+        assert!(
+            !out.report.within_limits(),
+            "collecting a dense instance should blow the local space budget"
+        );
+    }
+}

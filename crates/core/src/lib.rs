@@ -1,0 +1,57 @@
+//! # clique-coloring
+//!
+//! A from-scratch reproduction of **“Simple, Deterministic, Constant-Round
+//! Coloring in the Congested Clique”** (Czumaj, Davies, Parter; PODC 2020).
+//!
+//! The crate implements:
+//!
+//! * [`color_reduce::ColorReduce`] — Algorithm 1, the deterministic
+//!   constant-round (Δ+1)-list coloring for the CONGESTED CLIQUE and
+//!   linear-space MPC (Theorems 1.1–1.3), driven by
+//!   [`partition`] (Algorithm 2) and the derandomization machinery of
+//!   `cc-derand`;
+//! * [`low_space::LowSpaceColorReduce`] — Algorithms 3–4, the
+//!   O(log Δ + log log 𝔫)-round (deg+1)-list coloring for low-space MPC
+//!   (Theorem 1.4), which finishes through the coloring→MIS reduction of
+//!   `cc-mis`;
+//! * [`baselines`] — the comparison algorithms used by the experiments
+//!   (sequential greedy, randomized trial coloring, MIS-reduction coloring,
+//!   and the un-derandomized variant of `ColorReduce`);
+//! * [`theory`] and [`trace`] — the paper's closed-form bounds
+//!   (Lemmas 3.11–3.14) and the recursion traces they are checked against.
+//!
+//! ```
+//! use cc_graph::generators;
+//! use cc_graph::instance::ListColoringInstance;
+//! use cc_sim::ExecutionModel;
+//! use clique_coloring::color_reduce::{ColorReduce, ColorReduceConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = generators::gnp(300, 0.05, 1)?;
+//! let instance = ListColoringInstance::delta_plus_one(&graph)?;
+//! let outcome = ColorReduce::new(ColorReduceConfig::default())
+//!     .run(&instance, ExecutionModel::congested_clique(graph.node_count()))?;
+//! outcome.coloring().verify(&instance)?;
+//! println!("colored in {} simulated rounds", outcome.rounds());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod color_reduce;
+pub mod config;
+pub mod error;
+pub mod good_bad;
+pub mod local_color;
+pub mod low_space;
+pub mod partition;
+pub mod theory;
+pub mod trace;
+
+pub use color_reduce::{color_delta_plus_one_list, ColorReduce, ColorReduceOutcome};
+pub use config::{ColorReduceConfig, SeedStrategy};
+pub use error::CoreError;
+pub use low_space::{color_deg_plus_one_list_low_space, LowSpaceColorReduce, LowSpaceConfig};

@@ -1,0 +1,129 @@
+//! Greedy local coloring of collected instances.
+//!
+//! When an instance is small enough to fit on one machine, `ColorReduce`
+//! collects it and colors it with the straightforward sequential greedy list
+//! coloring: scan the nodes, give each the smallest palette color not used
+//! by an already-colored neighbor. The invariant `p(v) > d(v)` (maintained by
+//! Lemma 3.2) guarantees this always succeeds.
+
+use cc_graph::coloring::Coloring;
+use cc_graph::csr::CsrGraph;
+use cc_graph::palette::Palette;
+use cc_graph::{Color, NodeId};
+
+use crate::error::CoreError;
+
+/// Greedily colors `nodes` (in the given order) from their current palettes,
+/// avoiding the colors of *all* already-colored neighbors in `graph`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::PaletteExhausted`] if some node has no usable color —
+/// which cannot happen while the palette invariants hold, so hitting it
+/// indicates a bookkeeping bug (or a deliberately broken test input).
+pub fn color_greedily(
+    graph: &CsrGraph,
+    palettes: &[Palette],
+    coloring: &mut Coloring,
+    nodes: &[NodeId],
+) -> Result<(), CoreError> {
+    for &v in nodes {
+        let mut used: Vec<Color> = graph
+            .neighbors(v)
+            .filter_map(|u| coloring.color_of(u))
+            .collect();
+        used.sort_unstable();
+        used.dedup();
+        let color = palettes[v.index()]
+            .first_available(&used)
+            .ok_or(CoreError::PaletteExhausted { node: v })?;
+        coloring.assign(v, color)?;
+    }
+    Ok(())
+}
+
+/// Removes from the palette of every node in `nodes` the colors already used
+/// by its neighbors. This is the palette update the paper performs before
+/// coloring the last bin G_{ℓ^0.1} and the bad-node graph G₀.
+///
+/// Returns the total number of colors removed.
+pub fn update_palettes_from_neighbors(
+    graph: &CsrGraph,
+    palettes: &mut [Palette],
+    coloring: &Coloring,
+    nodes: &[NodeId],
+) -> usize {
+    let mut removed = 0usize;
+    for &v in nodes {
+        for u in graph.neighbors(v) {
+            if let Some(color) = coloring.color_of(u) {
+                if palettes[v.index()].remove(color) {
+                    removed += 1;
+                }
+            }
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::builder::GraphBuilder;
+    use cc_graph::instance::ListColoringInstance;
+
+    #[test]
+    fn greedy_colors_a_clique_with_exactly_delta_plus_one_colors() {
+        let g = GraphBuilder::complete(5).build();
+        let inst = ListColoringInstance::delta_plus_one(&g).unwrap();
+        let mut coloring = Coloring::empty(5);
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        color_greedily(&g, inst.palettes(), &mut coloring, &nodes).unwrap();
+        coloring.verify(&inst).unwrap();
+        assert_eq!(coloring.distinct_colors(), 5);
+    }
+
+    #[test]
+    fn greedy_respects_previously_colored_neighbors() {
+        let g = GraphBuilder::path(3).build();
+        let inst = ListColoringInstance::delta_plus_one(&g).unwrap();
+        let mut coloring = Coloring::empty(3);
+        coloring.assign(NodeId(1), Color(0)).unwrap();
+        color_greedily(&g, inst.palettes(), &mut coloring, &[NodeId(0), NodeId(2)]).unwrap();
+        assert_ne!(coloring.color_of(NodeId(0)), Some(Color(0)));
+        assert_ne!(coloring.color_of(NodeId(2)), Some(Color(0)));
+        coloring.verify(&inst).unwrap();
+    }
+
+    #[test]
+    fn exhausted_palette_is_reported() {
+        let g = GraphBuilder::path(2).build();
+        let palettes = vec![Palette::explicit([Color(0)]), Palette::explicit([Color(0)])];
+        let mut coloring = Coloring::empty(2);
+        let err =
+            color_greedily(&g, &palettes, &mut coloring, &[NodeId(0), NodeId(1)]).unwrap_err();
+        assert!(matches!(err, CoreError::PaletteExhausted { node: NodeId(1) }));
+    }
+
+    #[test]
+    fn palette_update_removes_neighbor_colors() {
+        let g = GraphBuilder::star(4).build();
+        let mut palettes: Vec<Palette> = (0..4).map(|_| Palette::range(5)).collect();
+        let mut coloring = Coloring::empty(4);
+        coloring.assign(NodeId(1), Color(2)).unwrap();
+        coloring.assign(NodeId(2), Color(3)).unwrap();
+        let removed =
+            update_palettes_from_neighbors(&g, &mut palettes, &coloring, &[NodeId(0)]);
+        assert_eq!(removed, 2);
+        assert!(!palettes[0].contains(Color(2)));
+        assert!(!palettes[0].contains(Color(3)));
+        assert_eq!(palettes[0].size(), 3);
+        // Leaves other palettes untouched.
+        assert_eq!(palettes[3].size(), 5);
+        // Removing again is a no-op.
+        assert_eq!(
+            update_palettes_from_neighbors(&g, &mut palettes, &coloring, &[NodeId(0)]),
+            0
+        );
+    }
+}

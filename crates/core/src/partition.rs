@@ -1,0 +1,402 @@
+//! `Partition` (Algorithm 2): derandomized hashing of nodes and colors into
+//! bins.
+//!
+//! A call hashes the active nodes into B = ⌊ℓ^β⌋ bins with `h1` and the
+//! colors into B−1 bins with `h2`, where the pair (h1, h2) is drawn from
+//! c-wise independent families and selected deterministically by the method
+//! of conditional expectations so that (Lemma 3.9) no bin is bad and at most
+//! 𝔫/ℓ² nodes are bad. Bad nodes form the graph G₀ that the caller colors
+//! locally at the end of the call.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use cc_derand::{GreedyChunkSelector, SeedCost, SeedSelector, SelectionOutcome};
+use cc_graph::csr::CsrGraph;
+use cc_graph::palette::Palette;
+use cc_graph::NodeId;
+use cc_hash::family::HashFunction;
+use cc_hash::{BitSeed, PolynomialHashFamily};
+use cc_sim::constants::BROADCAST_ROUNDS;
+use cc_sim::ClusterContext;
+
+use crate::config::{ColorReduceConfig, SeedStrategy};
+use crate::good_bad::{evaluate_binning, ActiveSubgraph, BinningEvaluation, BinningParams};
+use crate::trace::PartitionRecord;
+
+/// Result of one `Partition` call.
+#[derive(Debug, Clone)]
+pub struct PartitionOutcome {
+    /// Node lists of the B bins, in bin order. The last bin is the one that
+    /// receives no colors; bins `0..B-2` have disjoint color sub-palettes.
+    pub bins: Vec<Vec<NodeId>>,
+    /// The bad nodes (graph G₀), colored locally by the caller after
+    /// everything else.
+    pub bad_nodes: Vec<NodeId>,
+    /// The selected color hash function h2 (used by the caller to restrict
+    /// palettes of nodes in bins `0..B-2`).
+    pub color_hash: HashFunction,
+    /// Number of node bins B.
+    pub bin_count: u64,
+    /// The full good/bad evaluation under the selected seed.
+    pub evaluation: BinningEvaluation,
+    /// Trace record (statistics) of this call.
+    pub record: PartitionRecord,
+}
+
+/// Extracts `len` bits starting at `start` from `seed` into a fresh seed.
+pub(crate) fn slice_seed(seed: &BitSeed, start: usize, len: usize) -> BitSeed {
+    let mut out = BitSeed::zeros(len);
+    let mut copied = 0usize;
+    while copied < len {
+        let width = (len - copied).min(61);
+        out.set_chunk(copied, width, seed.chunk(start + copied, width));
+        copied += width;
+    }
+    out
+}
+
+/// The cost function of Lemma 3.9: 𝔮(h1, h2) = #bad nodes + 𝔫·#bad bins,
+/// decomposed over one machine per active node plus one machine per bin.
+pub struct PartitionCost<'a> {
+    graph: &'a CsrGraph,
+    sub: &'a ActiveSubgraph,
+    palettes: &'a [Palette],
+    params: BinningParams,
+    family_nodes: PolynomialHashFamily,
+    family_colors: PolynomialHashFamily,
+    bound: f64,
+    memo: RefCell<HashMap<Vec<u64>, Rc<BinningEvaluation>>>,
+}
+
+impl<'a> PartitionCost<'a> {
+    /// Builds the cost function for one partition call.
+    pub fn new(
+        graph: &'a CsrGraph,
+        sub: &'a ActiveSubgraph,
+        palettes: &'a [Palette],
+        params: BinningParams,
+        family_nodes: PolynomialHashFamily,
+        family_colors: PolynomialHashFamily,
+        bound: f64,
+    ) -> Self {
+        PartitionCost {
+            graph,
+            sub,
+            palettes,
+            params,
+            family_nodes,
+            family_colors,
+            bound,
+            memo: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Total seed length for the (h1, h2) pair.
+    pub fn seed_bits(&self) -> usize {
+        self.family_nodes.seed_bits() + self.family_colors.seed_bits()
+    }
+
+    /// The binning evaluation for a combined seed (memoized).
+    pub fn evaluation(&self, seed: &BitSeed) -> Rc<BinningEvaluation> {
+        let key = seed.words().to_vec();
+        if let Some(hit) = self.memo.borrow().get(&key) {
+            return Rc::clone(hit);
+        }
+        let node_bits = self.family_nodes.seed_bits();
+        let seed_nodes = slice_seed(seed, 0, node_bits);
+        let seed_colors = slice_seed(seed, node_bits, self.family_colors.seed_bits());
+        let coeff_nodes = self.family_nodes.coefficients(&seed_nodes);
+        let coeff_colors = self.family_colors.coefficients(&seed_colors);
+        let eval = evaluate_binning(
+            self.graph,
+            self.sub,
+            self.palettes,
+            &self.params,
+            |x| self.family_nodes.eval_with_coefficients(&coeff_nodes, x),
+            |x| self.family_colors.eval_with_coefficients(&coeff_colors, x),
+        );
+        let rc = Rc::new(eval);
+        self.memo.borrow_mut().insert(key, Rc::clone(&rc));
+        rc
+    }
+}
+
+impl SeedCost for PartitionCost<'_> {
+    fn machine_count(&self) -> usize {
+        self.sub.len() + self.params.bins as usize
+    }
+
+    fn local_cost(&self, machine: usize, seed: &BitSeed) -> f64 {
+        let eval = self.evaluation(seed);
+        if machine < self.sub.len() {
+            if eval.node_good[machine] {
+                0.0
+            } else {
+                1.0
+            }
+        } else {
+            let bin = machine - self.sub.len();
+            if eval.bin_good[bin] {
+                0.0
+            } else {
+                self.params.global_nodes as f64
+            }
+        }
+    }
+
+    fn expectation_bound(&self) -> f64 {
+        self.bound
+    }
+}
+
+/// Runs `Partition(G, ℓ)` on the active subgraph, selecting hash functions
+/// according to the configured [`SeedStrategy`] and classifying nodes and
+/// bins under the selected pair.
+#[allow(clippy::too_many_arguments)]
+pub fn partition(
+    ctx: &mut ClusterContext,
+    label: &str,
+    graph: &CsrGraph,
+    palettes: &[Palette],
+    sub: &ActiveSubgraph,
+    ell: u64,
+    bins: u64,
+    global_nodes: usize,
+    config: &ColorReduceConfig,
+) -> PartitionOutcome {
+    debug_assert!(bins >= 2, "partition needs at least two bins");
+    let params = BinningParams::new(config, ell, bins, global_nodes, sub.len());
+    let family_nodes = PolynomialHashFamily::new(
+        config.independence,
+        (graph.node_count() as u64).max(2),
+        bins,
+    );
+    let family_colors = PolynomialHashFamily::new(
+        config.independence,
+        sub.color_domain.max(2),
+        (bins - 1).max(1),
+    );
+    let bound = config.bad_node_bound(global_nodes, ell);
+    let cost = PartitionCost::new(
+        graph,
+        sub,
+        palettes,
+        params,
+        family_nodes.clone(),
+        family_colors.clone(),
+        bound,
+    );
+    let seed_bits = cost.seed_bits();
+
+    let outcome: SelectionOutcome = match config.seed_strategy {
+        SeedStrategy::Derandomized {
+            chunk_bits,
+            candidates_per_chunk,
+            max_salts,
+        } => {
+            let selector = GreedyChunkSelector::new(chunk_bits, candidates_per_chunk, max_salts);
+            selector.select(ctx, label, seed_bits, &cost)
+        }
+        SeedStrategy::FixedSalt { salt } => {
+            // Randomized baseline: a pseudorandom seed, no search. One
+            // broadcast distributes it. The salt is remixed with the call's
+            // active set so that, like fresh randomness, each recursive call
+            // gets an independent-looking hash pair (reusing one function on
+            // a bin *it* defined would be degenerate).
+            ctx.charge_rounds(label, BROADCAST_ROUNDS);
+            let fingerprint = sub
+                .nodes
+                .first()
+                .map(|v| u64::from(v.0))
+                .unwrap_or_default()
+                ^ ((sub.len() as u64) << 24)
+                ^ ell.rotate_left(17);
+            let effective_salt = salt ^ cc_hash::seed::splitmix64(fingerprint);
+            let seed = BitSeed::zeros(seed_bits).canonical_completion(0, effective_salt);
+            let achieved_cost = cost.total_cost(&seed);
+            SelectionOutcome {
+                met_bound: achieved_cost <= bound,
+                seed,
+                achieved_cost,
+                bound,
+                candidates_evaluated: 1,
+                escalations: 0,
+            }
+        }
+    };
+
+    let evaluation = (*cost.evaluation(&outcome.seed)).clone();
+    let node_bits = family_nodes.seed_bits();
+    let color_hash =
+        family_colors.with_seed(slice_seed(&outcome.seed, node_bits, family_colors.seed_bits()));
+
+    // Split the active nodes into bins and the bad set.
+    let mut bin_lists: Vec<Vec<NodeId>> = vec![Vec::new(); bins as usize];
+    let mut bad_nodes: Vec<NodeId> = Vec::new();
+    for (i, &v) in sub.nodes.iter().enumerate() {
+        if evaluation.node_good[i] {
+            bin_lists[evaluation.node_bin[i] as usize].push(v);
+        } else {
+            bad_nodes.push(v);
+        }
+    }
+
+    // Size of the bad-node graph G₀ (Corollary 3.10).
+    let bad_graph_words = if bad_nodes.is_empty() {
+        0
+    } else {
+        ActiveSubgraph::new(graph, palettes, &bad_nodes).size_words()
+    };
+
+    let record = PartitionRecord {
+        bins,
+        bad_nodes: bad_nodes.len(),
+        bad_bins: evaluation.bad_bin_count(),
+        bad_node_bound: bound,
+        bad_graph_words,
+        max_bin_nodes: evaluation.max_bin_count(),
+        seed_outcome: outcome,
+    };
+
+    PartitionOutcome {
+        bins: bin_lists,
+        bad_nodes,
+        color_hash,
+        bin_count: bins,
+        evaluation,
+        record,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::generators;
+    use cc_graph::instance::ListColoringInstance;
+    use cc_sim::ExecutionModel;
+
+    fn setup(n: usize, p: f64, seed: u64) -> (CsrGraph, Vec<Palette>) {
+        let g = generators::gnp(n, p, seed).unwrap();
+        let inst = ListColoringInstance::delta_plus_one(&g).unwrap();
+        let palettes = inst.palettes().to_vec();
+        (g, palettes)
+    }
+
+    fn ctx(n: usize) -> ClusterContext {
+        ClusterContext::new(ExecutionModel::congested_clique(n))
+    }
+
+    #[test]
+    fn slice_seed_round_trip() {
+        let mut seed = BitSeed::zeros(200);
+        seed.set_chunk(0, 61, 0x1234_5678_9abc);
+        seed.set_chunk(61, 61, 0x0fed_cba9_8765);
+        seed.set_chunk(122, 61, 0x0011_2233_4455);
+        let first = slice_seed(&seed, 0, 122);
+        let second = slice_seed(&seed, 122, 78);
+        assert_eq!(first.chunk(0, 61), 0x1234_5678_9abc);
+        assert_eq!(first.chunk(61, 61), 0x0fed_cba9_8765);
+        assert_eq!(second.chunk(0, 61), 0x0011_2233_4455);
+        assert_eq!(first.len(), 122);
+        assert_eq!(second.len(), 78);
+    }
+
+    #[test]
+    fn partition_splits_nodes_into_bins_and_bad_set() {
+        let (g, palettes) = setup(150, 0.3, 3);
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        let sub = ActiveSubgraph::new(&g, &palettes, &nodes);
+        let config = ColorReduceConfig {
+            seed_strategy: SeedStrategy::Derandomized {
+                chunk_bits: 61,
+                candidates_per_chunk: 8,
+                max_salts: 1,
+            },
+            ..ColorReduceConfig::paper()
+        };
+        let ell = g.max_degree() as u64;
+        let mut c = ctx(150);
+        let out = partition(&mut c, "partition", &g, &palettes, &sub, ell, 2, 150, &config);
+        // Every active node lands in exactly one bin or the bad set.
+        let total: usize =
+            out.bins.iter().map(Vec::len).sum::<usize>() + out.bad_nodes.len();
+        assert_eq!(total, 150);
+        assert_eq!(out.bin_count, 2);
+        assert_eq!(out.bins.len(), 2);
+        assert!(c.rounds() > 0);
+        // Statistics are consistent.
+        assert_eq!(out.record.bad_nodes, out.bad_nodes.len());
+        assert_eq!(out.record.bins, 2);
+        assert!(out.record.max_bin_nodes <= 150);
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let (g, palettes) = setup(100, 0.2, 5);
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        let sub = ActiveSubgraph::new(&g, &palettes, &nodes);
+        let config = ColorReduceConfig {
+            seed_strategy: SeedStrategy::Derandomized {
+                chunk_bits: 61,
+                candidates_per_chunk: 8,
+                max_salts: 1,
+            },
+            ..ColorReduceConfig::paper()
+        };
+        let ell = g.max_degree() as u64;
+        let a = partition(&mut ctx(100), "p", &g, &palettes, &sub, ell, 2, 100, &config);
+        let b = partition(&mut ctx(100), "p", &g, &palettes, &sub, ell, 2, 100, &config);
+        assert_eq!(a.bins, b.bins);
+        assert_eq!(a.bad_nodes, b.bad_nodes);
+        assert_eq!(a.record.seed_outcome.seed, b.record.seed_outcome.seed);
+    }
+
+    #[test]
+    fn derandomized_seed_is_no_worse_than_fixed_salt() {
+        let (g, palettes) = setup(200, 0.25, 9);
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        let sub = ActiveSubgraph::new(&g, &palettes, &nodes);
+        let ell = g.max_degree() as u64;
+        let derand_config = ColorReduceConfig {
+            seed_strategy: SeedStrategy::Derandomized {
+                chunk_bits: 61,
+                candidates_per_chunk: 16,
+                max_salts: 1,
+            },
+            ..ColorReduceConfig::paper()
+        };
+        let fixed_config = ColorReduceConfig {
+            seed_strategy: SeedStrategy::FixedSalt { salt: 1 },
+            ..ColorReduceConfig::paper()
+        };
+        let derand =
+            partition(&mut ctx(200), "p", &g, &palettes, &sub, ell, 2, 200, &derand_config);
+        let fixed =
+            partition(&mut ctx(200), "p", &g, &palettes, &sub, ell, 2, 200, &fixed_config);
+        assert!(
+            derand.record.seed_outcome.achieved_cost
+                <= fixed.record.seed_outcome.achieved_cost
+        );
+    }
+
+    #[test]
+    fn three_bins_restrict_palettes_to_disjoint_color_sets() {
+        // Force three bins so h2 actually partitions the colors; check that
+        // the color hash maps every color to a bin < bins - 1.
+        let (g, palettes) = setup(120, 0.4, 11);
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        let sub = ActiveSubgraph::new(&g, &palettes, &nodes);
+        let config = ColorReduceConfig {
+            seed_strategy: SeedStrategy::FixedSalt { salt: 3 },
+            ..ColorReduceConfig::paper()
+        };
+        let ell = g.max_degree() as u64;
+        let out = partition(&mut ctx(120), "p", &g, &palettes, &sub, ell, 3, 120, &config);
+        assert_eq!(out.bins.len(), 3);
+        for color in palettes[0].iter() {
+            assert!(out.color_hash.eval(color.0) < 2);
+        }
+    }
+}

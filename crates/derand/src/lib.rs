@@ -1,0 +1,45 @@
+//! The distributed method of conditional expectations (Section 2.4 of the
+//! paper): deterministic selection of hash-function seeds.
+//!
+//! The derandomization recipe the paper follows is:
+//!
+//! 1. show that the randomized procedure works when its random choices come
+//!    from a c-wise independent family, i.e. from an O(log 𝔫)-bit seed;
+//! 2. define a cost function `q(seed) = Σ_machines q_x(seed)` whose
+//!    expectation over a random seed is at most some bound `Q`;
+//! 3. fix the seed a chunk of δ·log 𝔫 bits at a time: for every candidate
+//!    value of the next chunk, machines evaluate their local conditional
+//!    costs, the per-candidate totals are aggregated in O(1) rounds, and the
+//!    minimizing candidate is broadcast.
+//!
+//! This crate provides the machinery for steps 2–3:
+//!
+//! * [`cost::SeedCost`] — the cost-function interface implemented by
+//!   `clique-coloring`'s partition procedures,
+//! * [`selector::SeedSelector`] — the seed-search interface, with two
+//!   implementations:
+//!   * [`greedy::GreedyChunkSelector`] — the default: the paper's chunked
+//!     search where each candidate chunk is scored by the *true* cost under
+//!     a canonical deterministic completion, with a runtime check of the
+//!     expectation bound and deterministic escalation if it is missed
+//!     (substitution #2 in `DESIGN.md`),
+//!   * [`exact::ExactMceSelector`] — textbook conditional expectations by
+//!     exhaustive enumeration of completions; exponential in the remaining
+//!     seed length, used for validation on small seed spaces.
+//!
+//! Both selectors charge their communication to a [`cc_sim::ClusterContext`]
+//! so the round counts reported by experiments include the cost of the
+//! derandomization itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod exact;
+pub mod greedy;
+pub mod selector;
+
+pub use cost::SeedCost;
+pub use exact::ExactMceSelector;
+pub use greedy::GreedyChunkSelector;
+pub use selector::{SeedSelector, SelectionOutcome};

@@ -1,0 +1,81 @@
+//! The seed-selection interface and its outcome type.
+
+use cc_hash::BitSeed;
+use cc_sim::ClusterContext;
+
+use crate::cost::SeedCost;
+
+/// The result of a deterministic seed search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionOutcome {
+    /// The selected seed.
+    pub seed: BitSeed,
+    /// The true total cost of the selected seed.
+    pub achieved_cost: f64,
+    /// The expectation bound `Q` the seed was compared against.
+    pub bound: f64,
+    /// Whether `achieved_cost <= bound`.
+    pub met_bound: bool,
+    /// Number of candidate seeds whose cost was evaluated.
+    pub candidates_evaluated: u64,
+    /// How many times the search escalated (e.g. switched completion salt)
+    /// before meeting the bound; 0 means the first pass succeeded.
+    pub escalations: u32,
+}
+
+impl SelectionOutcome {
+    /// Ratio of achieved cost to the bound (0 when the bound is 0).
+    pub fn cost_ratio(&self) -> f64 {
+        if self.bound == 0.0 {
+            if self.achieved_cost == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.achieved_cost / self.bound
+        }
+    }
+}
+
+/// A deterministic seed-selection strategy.
+pub trait SeedSelector {
+    /// Deterministically selects a seed of `seed_bits` bits for `cost`,
+    /// charging all communication to `ctx` under the phase `label`.
+    fn select(
+        &self,
+        ctx: &mut ClusterContext,
+        label: &str,
+        seed_bits: usize,
+        cost: &dyn SeedCost,
+    ) -> SelectionOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_ratio_handles_zero_bound() {
+        let base = SelectionOutcome {
+            seed: BitSeed::zeros(4),
+            achieved_cost: 0.0,
+            bound: 0.0,
+            met_bound: true,
+            candidates_evaluated: 1,
+            escalations: 0,
+        };
+        assert_eq!(base.cost_ratio(), 0.0);
+        let worse = SelectionOutcome {
+            achieved_cost: 2.0,
+            ..base.clone()
+        };
+        assert!(worse.cost_ratio().is_infinite());
+        let normal = SelectionOutcome {
+            achieved_cost: 2.0,
+            bound: 4.0,
+            ..base
+        };
+        assert_eq!(normal.cost_ratio(), 0.5);
+    }
+}

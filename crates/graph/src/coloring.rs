@@ -1,0 +1,217 @@
+//! Partial and complete color assignments and their verification.
+
+use crate::instance::ListColoringInstance;
+use crate::{Color, GraphError, NodeId};
+
+/// A (possibly partial) assignment of colors to nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coloring {
+    colors: Vec<Option<Color>>,
+}
+
+impl Coloring {
+    /// An empty coloring of `node_count` nodes.
+    pub fn empty(node_count: usize) -> Self {
+        Coloring {
+            colors: vec![None; node_count],
+        }
+    }
+
+    /// Number of nodes the coloring covers (colored or not).
+    pub fn node_count(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// The color of `v`, if assigned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn color_of(&self, v: NodeId) -> Option<Color> {
+        self.colors[v.index()]
+    }
+
+    /// Whether `v` has been assigned a color.
+    #[inline]
+    pub fn is_colored(&self, v: NodeId) -> bool {
+        self.colors[v.index()].is_some()
+    }
+
+    /// Assigns `color` to `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::AlreadyColored`] if `v` already has a color.
+    pub fn assign(&mut self, v: NodeId, color: Color) -> Result<(), GraphError> {
+        let slot = &mut self.colors[v.index()];
+        if slot.is_some() {
+            return Err(GraphError::AlreadyColored { node: v });
+        }
+        *slot = Some(color);
+        Ok(())
+    }
+
+    /// Number of colored nodes.
+    pub fn colored_count(&self) -> usize {
+        self.colors.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Whether every node has a color.
+    pub fn is_complete(&self) -> bool {
+        self.colors.iter().all(Option::is_some)
+    }
+
+    /// Iterator over `(node, color)` pairs for the colored nodes.
+    pub fn assignments(&self) -> impl Iterator<Item = (NodeId, Color)> + '_ {
+        self.colors
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|color| (NodeId::from_index(i), color)))
+    }
+
+    /// Number of distinct colors used.
+    pub fn distinct_colors(&self) -> usize {
+        let mut used: Vec<Color> = self.colors.iter().flatten().copied().collect();
+        used.sort_unstable();
+        used.dedup();
+        used.len()
+    }
+
+    /// Lists every monochromatic edge among *colored* nodes.
+    pub fn conflicts(&self, instance: &ListColoringInstance) -> Vec<(NodeId, NodeId, Color)> {
+        let graph = instance.graph();
+        let mut out = Vec::new();
+        for (u, v) in graph.edges() {
+            if let (Some(cu), Some(cv)) = (self.color_of(u), self.color_of(v)) {
+                if cu == cv {
+                    out.push((u, v, cu));
+                }
+            }
+        }
+        out
+    }
+
+    /// Verifies that the colored nodes form a proper partial list coloring:
+    /// no monochromatic edge between colored nodes and every assigned color
+    /// lies in its node's palette.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found as a [`GraphError`].
+    pub fn verify_partial(&self, instance: &ListColoringInstance) -> Result<(), GraphError> {
+        let graph = instance.graph();
+        for (v, color) in self.assignments() {
+            if !instance.palette(v).contains(color) {
+                return Err(GraphError::ColorNotInPalette { node: v, color });
+            }
+            for u in graph.neighbors(v) {
+                if u > v {
+                    continue;
+                }
+                if self.color_of(u) == Some(color) {
+                    return Err(GraphError::MonochromaticEdge { u, v, color });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies that this is a *complete* proper list coloring of
+    /// `instance`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Uncolored`] if a node is missing a color, and
+    /// otherwise the first palette or properness violation.
+    pub fn verify(&self, instance: &ListColoringInstance) -> Result<(), GraphError> {
+        for v in instance.graph().nodes() {
+            if !self.is_colored(v) {
+                return Err(GraphError::Uncolored { node: v });
+            }
+        }
+        self.verify_partial(instance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::instance::ListColoringInstance;
+
+    fn triangle_instance() -> ListColoringInstance {
+        let g = GraphBuilder::complete(3).build();
+        ListColoringInstance::delta_plus_one(&g).unwrap()
+    }
+
+    #[test]
+    fn assign_and_query() {
+        let mut c = Coloring::empty(3);
+        assert!(!c.is_colored(NodeId(0)));
+        c.assign(NodeId(0), Color(2)).unwrap();
+        assert_eq!(c.color_of(NodeId(0)), Some(Color(2)));
+        assert_eq!(c.colored_count(), 1);
+        assert!(!c.is_complete());
+        assert!(matches!(
+            c.assign(NodeId(0), Color(1)),
+            Err(GraphError::AlreadyColored { node: NodeId(0) })
+        ));
+    }
+
+    #[test]
+    fn verify_accepts_proper_coloring() {
+        let inst = triangle_instance();
+        let mut c = Coloring::empty(3);
+        c.assign(NodeId(0), Color(0)).unwrap();
+        c.assign(NodeId(1), Color(1)).unwrap();
+        c.assign(NodeId(2), Color(2)).unwrap();
+        c.verify(&inst).unwrap();
+        assert_eq!(c.distinct_colors(), 3);
+        assert!(c.conflicts(&inst).is_empty());
+    }
+
+    #[test]
+    fn verify_rejects_monochromatic_edge() {
+        let inst = triangle_instance();
+        let mut c = Coloring::empty(3);
+        c.assign(NodeId(0), Color(0)).unwrap();
+        c.assign(NodeId(1), Color(0)).unwrap();
+        c.assign(NodeId(2), Color(2)).unwrap();
+        let err = c.verify(&inst).unwrap_err();
+        assert!(matches!(err, GraphError::MonochromaticEdge { .. }));
+        assert_eq!(c.conflicts(&inst).len(), 1);
+    }
+
+    #[test]
+    fn verify_rejects_out_of_palette_color() {
+        let inst = triangle_instance();
+        let mut c = Coloring::empty(3);
+        c.assign(NodeId(0), Color(99)).unwrap();
+        c.assign(NodeId(1), Color(1)).unwrap();
+        c.assign(NodeId(2), Color(2)).unwrap();
+        assert!(matches!(
+            c.verify(&inst),
+            Err(GraphError::ColorNotInPalette { node: NodeId(0), color: Color(99) })
+        ));
+    }
+
+    #[test]
+    fn verify_rejects_incomplete() {
+        let inst = triangle_instance();
+        let mut c = Coloring::empty(3);
+        c.assign(NodeId(0), Color(0)).unwrap();
+        assert!(matches!(c.verify(&inst), Err(GraphError::Uncolored { .. })));
+        // But the partial verification passes.
+        c.verify_partial(&inst).unwrap();
+    }
+
+    #[test]
+    fn assignments_iterator() {
+        let mut c = Coloring::empty(4);
+        c.assign(NodeId(2), Color(5)).unwrap();
+        c.assign(NodeId(0), Color(1)).unwrap();
+        let pairs: Vec<_> = c.assignments().collect();
+        assert_eq!(pairs, vec![(NodeId(0), Color(1)), (NodeId(2), Color(5))]);
+    }
+}

@@ -1,0 +1,265 @@
+//! Compressed sparse row (CSR) representation of simple undirected graphs.
+//!
+//! All algorithms in this workspace treat graphs as immutable once built; the
+//! CSR layout gives O(1) degree queries and cache-friendly neighbor
+//! iteration, which matters because the simulator replays the same adjacency
+//! structure for every candidate hash seed during derandomization.
+
+use crate::{GraphError, NodeId};
+
+/// An immutable simple undirected graph in compressed sparse row form.
+///
+/// Nodes are `0..node_count()`. Each undirected edge `{u, v}` is stored twice
+/// (once in each endpoint's adjacency list); [`CsrGraph::edge_count`] reports
+/// the number of undirected edges.
+///
+/// Construct via [`crate::builder::GraphBuilder`] or
+/// [`CsrGraph::from_edges`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors` for node `v`.
+    offsets: Vec<usize>,
+    /// Concatenated, per-node-sorted adjacency lists.
+    neighbors: Vec<NodeId>,
+    /// Number of undirected edges.
+    edge_count: usize,
+    /// Maximum degree Δ.
+    max_degree: usize,
+}
+
+impl CsrGraph {
+    /// Builds a graph with `node_count` nodes from an undirected edge list.
+    ///
+    /// Duplicate edges are collapsed and the order of endpoints is
+    /// irrelevant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if an endpoint is `>=
+    /// node_count` and [`GraphError::SelfLoop`] for edges `{v, v}`.
+    pub fn from_edges(
+        node_count: usize,
+        edges: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> Result<Self, GraphError> {
+        let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); node_count];
+        for (u, v) in edges {
+            if u.index() >= node_count {
+                return Err(GraphError::NodeOutOfRange { node: u, node_count });
+            }
+            if v.index() >= node_count {
+                return Err(GraphError::NodeOutOfRange { node: v, node_count });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { node: u });
+            }
+            adjacency[u.index()].push(v);
+            adjacency[v.index()].push(u);
+        }
+        for list in &mut adjacency {
+            list.sort_unstable();
+            list.dedup();
+        }
+        Ok(Self::from_adjacency(adjacency))
+    }
+
+    /// Builds a graph from per-node adjacency lists that are already
+    /// deduplicated, sorted, and symmetric.
+    ///
+    /// This is the fast path used by the generators, by induced-subgraph
+    /// extraction, and by the coloring→MIS reduction; callers must uphold
+    /// the sortedness/symmetry invariants themselves (use
+    /// [`CsrGraph::from_edges`] when in doubt — it enforces them).
+    pub fn from_adjacency(adjacency: Vec<Vec<NodeId>>) -> Self {
+        let node_count = adjacency.len();
+        let mut offsets = Vec::with_capacity(node_count + 1);
+        offsets.push(0usize);
+        let mut neighbors = Vec::new();
+        let mut max_degree = 0usize;
+        for list in &adjacency {
+            max_degree = max_degree.max(list.len());
+            neighbors.extend_from_slice(list);
+            offsets.push(neighbors.len());
+        }
+        let edge_count = neighbors.len() / 2;
+        CsrGraph {
+            offsets,
+            neighbors,
+            edge_count,
+            max_degree,
+        }
+    }
+
+    /// Builds the empty graph on `node_count` nodes.
+    pub fn empty(node_count: usize) -> Self {
+        Self::from_adjacency(vec![Vec::new(); node_count])
+    }
+
+    /// Number of nodes 𝔫.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges 𝔪.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Maximum degree Δ.
+    #[inline]
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v.index() + 1] - self.offsets[v.index()]
+    }
+
+    /// Iterator over all nodes `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId::from_index)
+    }
+
+    /// Iterator over the neighbors of `v`, in increasing node order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.neighbor_slice(v).iter().copied()
+    }
+
+    /// The neighbors of `v` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbor_slice(&self, v: NodeId) -> &[NodeId] {
+        &self.neighbors[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// Whether `{u, v}` is an edge. O(log d(u)).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbor_slice(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over every undirected edge `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Total size of the graph in machine words: one word per node plus two
+    /// per undirected edge. This is the quantity the paper calls the "size"
+    /// of an instance when deciding whether it fits on a single machine.
+    pub fn size_words(&self) -> usize {
+        self.node_count() + 2 * self.edge_count()
+    }
+
+    /// Sum of degrees (= 2𝔪).
+    pub fn degree_sum(&self) -> usize {
+        2 * self.edge_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> CsrGraph {
+        CsrGraph::from_edges(
+            3,
+            [
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(2), NodeId(0)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn triangle_basic_properties() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.degree(NodeId(1)), 2);
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        assert!(!g.has_edge(NodeId(0), NodeId(0)));
+        assert_eq!(g.size_words(), 3 + 6);
+        assert_eq!(g.degree_sum(), 6);
+    }
+
+    #[test]
+    fn duplicate_edges_are_collapsed() {
+        let g = CsrGraph::from_edges(
+            2,
+            [
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(0)),
+                (NodeId(0), NodeId(1)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let err = CsrGraph::from_edges(2, [(NodeId(1), NodeId(1))]).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { node: NodeId(1) });
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let err = CsrGraph::from_edges(2, [(NodeId(0), NodeId(5))]).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { node: NodeId(5), node_count: 2 }));
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = CsrGraph::from_edges(
+            4,
+            [
+                (NodeId(2), NodeId(0)),
+                (NodeId(2), NodeId(3)),
+                (NodeId(2), NodeId(1)),
+            ],
+        )
+        .unwrap();
+        let nbrs: Vec<_> = g.neighbors(NodeId(2)).collect();
+        assert_eq!(nbrs, vec![NodeId(0), NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_edge_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for (u, v) in edges {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.nodes().count(), 5);
+    }
+}

@@ -1,0 +1,133 @@
+//! Error types for graph, instance, and coloring construction and
+//! verification.
+
+use crate::{Color, NodeId};
+
+/// Errors produced by the graph substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint refers to a node outside `0..node_count`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// The number of nodes in the graph.
+        node_count: usize,
+    },
+    /// A self-loop `{v, v}` was supplied; simple graphs have none.
+    SelfLoop {
+        /// The node with a self-loop.
+        node: NodeId,
+    },
+    /// A palette is too small for its node: list coloring requires
+    /// `p(v) > d(v)` (or `p(v) >= d(v) + 1`).
+    PaletteTooSmall {
+        /// The node whose palette is deficient.
+        node: NodeId,
+        /// The palette size.
+        palette_size: usize,
+        /// The node degree.
+        degree: usize,
+    },
+    /// The number of palettes does not match the number of nodes.
+    PaletteCountMismatch {
+        /// Number of palettes supplied.
+        palettes: usize,
+        /// Number of nodes in the graph.
+        nodes: usize,
+    },
+    /// A node was assigned a color twice.
+    AlreadyColored {
+        /// The node in question.
+        node: NodeId,
+    },
+    /// Verification failed: a node is missing a color.
+    Uncolored {
+        /// The uncolored node.
+        node: NodeId,
+    },
+    /// Verification failed: two adjacent nodes share a color.
+    MonochromaticEdge {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+        /// The shared color.
+        color: Color,
+    },
+    /// Verification failed: a node's color is not in its palette.
+    ColorNotInPalette {
+        /// The node in question.
+        node: NodeId,
+        /// The color assigned to it.
+        color: Color,
+    },
+    /// A generator was asked for an impossible configuration.
+    InvalidGeneratorParameters {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range for graph with {node_count} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::PaletteTooSmall { node, palette_size, degree } => write!(
+                f,
+                "palette of node {node} has {palette_size} colors but degree is {degree}; list coloring needs p(v) > d(v)"
+            ),
+            GraphError::PaletteCountMismatch { palettes, nodes } => {
+                write!(f, "{palettes} palettes supplied for {nodes} nodes")
+            }
+            GraphError::AlreadyColored { node } => {
+                write!(f, "node {node} was assigned a color twice")
+            }
+            GraphError::Uncolored { node } => write!(f, "node {node} has no color"),
+            GraphError::MonochromaticEdge { u, v, color } => {
+                write!(f, "adjacent nodes {u} and {v} share color {color}")
+            }
+            GraphError::ColorNotInPalette { node, color } => {
+                write!(f, "node {node} was assigned color {color} outside its palette")
+            }
+            GraphError::InvalidGeneratorParameters { reason } => {
+                write!(f, "invalid generator parameters: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::PaletteTooSmall {
+            node: NodeId(4),
+            palette_size: 2,
+            degree: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("v4"));
+        assert!(msg.contains("2 colors"));
+        assert!(msg.contains("degree is 3"));
+
+        let e = GraphError::MonochromaticEdge {
+            u: NodeId(1),
+            v: NodeId(2),
+            color: Color(9),
+        };
+        assert!(e.to_string().contains("c9"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<GraphError>();
+    }
+}

@@ -1,0 +1,102 @@
+//! Planted-community ("stochastic block model") graphs.
+//!
+//! These model social / collaboration networks: dense communities with sparse
+//! inter-community edges. They are the motivating workload for the
+//! frequency-assignment and scheduling examples.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::csr::CsrGraph;
+use crate::{GraphError, NodeId};
+
+/// Generates a stochastic block model graph with `communities` equal-sized
+/// communities; pairs inside a community are connected with probability
+/// `p_in`, pairs across communities with probability `p_out`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidGeneratorParameters`] if the probabilities
+/// are not in `[0, 1]` or `communities == 0` while `n > 0`.
+pub fn clustered(
+    n: usize,
+    communities: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> Result<CsrGraph, GraphError> {
+    for (name, p) in [("p_in", p_in), ("p_out", p_out)] {
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(GraphError::InvalidGeneratorParameters {
+                reason: format!("{name} = {p} must lie in [0, 1]"),
+            });
+        }
+    }
+    if n > 0 && communities == 0 {
+        return Err(GraphError::InvalidGeneratorParameters {
+            reason: "need at least one community".to_string(),
+        });
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let community_of = |v: usize| v * communities / n.max(1);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if community_of(u) == community_of(v) { p_in } else { p_out };
+            if rng.gen_bool(p) {
+                edges.push((NodeId::from_index(u), NodeId::from_index(v)));
+            }
+        }
+    }
+    CsrGraph::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intra_community_is_denser() {
+        let n = 120;
+        let communities = 4;
+        let g = clustered(n, communities, 0.4, 0.01, 7).unwrap();
+        let community_of = |v: usize| v * communities / n;
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for (u, v) in g.edges() {
+            if community_of(u.index()) == community_of(v.index()) {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > inter, "intra {intra} should exceed inter {inter}");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(clustered(10, 0, 0.5, 0.5, 0).is_err());
+        assert!(clustered(10, 2, 1.5, 0.5, 0).is_err());
+        assert!(clustered(10, 2, 0.5, -0.1, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(
+            clustered(60, 3, 0.3, 0.02, 1).unwrap(),
+            clustered(60, 3, 0.3, 0.02, 1).unwrap()
+        );
+    }
+
+    #[test]
+    fn zero_probabilities_give_empty_graph() {
+        let g = clustered(30, 3, 0.0, 0.0, 0).unwrap();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn empty_graph_allowed() {
+        let g = clustered(0, 3, 0.1, 0.1, 0).unwrap();
+        assert_eq!(g.node_count(), 0);
+    }
+}

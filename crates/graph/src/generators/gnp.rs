@@ -1,0 +1,102 @@
+//! Erdős–Rényi G(n, p) generator.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::csr::CsrGraph;
+use crate::{GraphError, NodeId};
+
+/// Generates an Erdős–Rényi random graph G(n, p): every unordered pair is an
+/// edge independently with probability `p`.
+///
+/// For sparse graphs (`p` small) the generator uses geometric skipping so the
+/// running time is O(n + m) rather than O(n²).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidGeneratorParameters`] if `p` is not a
+/// probability.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Result<CsrGraph, GraphError> {
+    if !(0.0..=1.0).contains(&p) || p.is_nan() {
+        return Err(GraphError::InvalidGeneratorParameters {
+            reason: format!("edge probability {p} must lie in [0, 1]"),
+        });
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    if n >= 2 && p > 0.0 {
+        if p >= 1.0 {
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    edges.push((NodeId::from_index(u), NodeId::from_index(v)));
+                }
+            }
+        } else {
+            // Skip-based sampling over the implicit sequence of all pairs
+            // (u, v) with u < v, visited in lexicographic order.
+            let log_1p = (1.0 - p).ln();
+            let mut u = 0usize;
+            let mut v = 0usize; // next candidate partner - 1
+            loop {
+                let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let skip = (r.ln() / log_1p).floor() as usize + 1;
+                v += skip;
+                while v >= n {
+                    u += 1;
+                    if u >= n - 1 {
+                        break;
+                    }
+                    v = u + 1 + (v - n);
+                }
+                if u >= n - 1 {
+                    break;
+                }
+                edges.push((NodeId::from_index(u), NodeId::from_index(v)));
+            }
+        }
+    }
+    CsrGraph::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extreme_probabilities() {
+        let empty = gnp(20, 0.0, 1).unwrap();
+        assert_eq!(empty.edge_count(), 0);
+        let full = gnp(20, 1.0, 1).unwrap();
+        assert_eq!(full.edge_count(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn invalid_probability_rejected() {
+        assert!(gnp(10, -0.1, 0).is_err());
+        assert!(gnp(10, 1.5, 0).is_err());
+        assert!(gnp(10, f64::NAN, 0).is_err());
+    }
+
+    #[test]
+    fn edge_count_roughly_matches_expectation() {
+        let n = 400;
+        let p = 0.05;
+        let g = gnp(n, p, 42).unwrap();
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.edge_count() as f64;
+        // Within 20% of expectation for this size; deterministic given seed.
+        assert!((got - expected).abs() < 0.2 * expected, "got {got}, expected {expected}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(gnp(100, 0.1, 7).unwrap(), gnp(100, 0.1, 7).unwrap());
+        assert_ne!(gnp(100, 0.1, 7).unwrap(), gnp(100, 0.1, 8).unwrap());
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        assert_eq!(gnp(0, 0.5, 0).unwrap().node_count(), 0);
+        assert_eq!(gnp(1, 0.5, 0).unwrap().edge_count(), 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Random near-regular graphs.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::csr::CsrGraph;
+use crate::{GraphError, NodeId};
+
+/// Generates a random graph in which every node has degree close to
+/// `degree` (exactly `degree` up to the collisions discarded by the
+/// configuration-model pairing; the maximum degree never exceeds `degree`).
+///
+/// The construction is the configuration model: each node receives `degree`
+/// stubs, stubs are shuffled and paired, and self-loops / duplicate edges are
+/// dropped. For the degrees used in the experiments the number of dropped
+/// pairs is a tiny fraction.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidGeneratorParameters`] if `degree >= n`.
+pub fn near_regular(n: usize, degree: usize, seed: u64) -> Result<CsrGraph, GraphError> {
+    if n > 0 && degree >= n {
+        return Err(GraphError::InvalidGeneratorParameters {
+            reason: format!("target degree {degree} must be smaller than n = {n}"),
+        });
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut stubs: Vec<NodeId> = Vec::with_capacity(n * degree);
+    for v in 0..n {
+        for _ in 0..degree {
+            stubs.push(NodeId::from_index(v));
+        }
+    }
+    stubs.shuffle(&mut rng);
+    let mut edges = Vec::with_capacity(stubs.len() / 2);
+    for pair in stubs.chunks_exact(2) {
+        if pair[0] != pair[1] {
+            edges.push((pair[0], pair[1]));
+        }
+    }
+    CsrGraph::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrees_are_close_to_target_and_bounded() {
+        let degree = 8;
+        let g = near_regular(300, degree, 3).unwrap();
+        assert!(g.max_degree() <= degree);
+        let avg = g.degree_sum() as f64 / g.node_count() as f64;
+        assert!(avg > degree as f64 * 0.9, "average degree {avg} too far below {degree}");
+    }
+
+    #[test]
+    fn rejects_degree_at_least_n() {
+        assert!(near_regular(5, 5, 0).is_err());
+        assert!(near_regular(5, 9, 0).is_err());
+    }
+
+    #[test]
+    fn zero_degree_gives_empty_graph() {
+        let g = near_regular(10, 0, 0).unwrap();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(near_regular(50, 4, 1).unwrap(), near_regular(50, 4, 1).unwrap());
+    }
+
+    #[test]
+    fn empty_graph_allowed() {
+        let g = near_regular(0, 0, 0).unwrap();
+        assert_eq!(g.node_count(), 0);
+    }
+}

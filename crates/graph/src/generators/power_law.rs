@@ -1,0 +1,110 @@
+//! Preferential-attachment (Barabási–Albert style) power-law graphs.
+//!
+//! These graphs have highly skewed degree distributions, which stresses the
+//! (deg+1)-list coloring variant and the good/bad node classification: a few
+//! hub nodes have degree far above the average.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::csr::CsrGraph;
+use crate::{GraphError, NodeId};
+
+/// Generates a preferential-attachment graph: nodes arrive one at a time and
+/// attach `edges_per_node` edges to existing nodes chosen proportionally to
+/// their current degree (plus one, so isolated nodes can be chosen).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidGeneratorParameters`] if `edges_per_node` is
+/// zero while `n > 1`.
+pub fn power_law(n: usize, edges_per_node: usize, seed: u64) -> Result<CsrGraph, GraphError> {
+    if n > 1 && edges_per_node == 0 {
+        return Err(GraphError::InvalidGeneratorParameters {
+            reason: "edges_per_node must be positive".to_string(),
+        });
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    // `targets` holds one entry per degree unit plus one per node, so sampling
+    // uniformly from it approximates degree-proportional sampling.
+    let mut targets: Vec<NodeId> = Vec::new();
+    for v in 0..n {
+        let vid = NodeId::from_index(v);
+        if v == 0 {
+            targets.push(vid);
+            continue;
+        }
+        let attach = edges_per_node.min(v);
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(attach);
+        let mut guard = 0usize;
+        while chosen.len() < attach && guard < 50 * attach + 50 {
+            guard += 1;
+            let candidate = targets[rng.gen_range(0..targets.len())];
+            if candidate != vid && !chosen.contains(&candidate) {
+                chosen.push(candidate);
+            }
+        }
+        // Fallback: fill from the lowest-numbered nodes not yet chosen.
+        let mut fallback = 0usize;
+        while chosen.len() < attach {
+            let candidate = NodeId::from_index(fallback);
+            fallback += 1;
+            if candidate != vid && !chosen.contains(&candidate) {
+                chosen.push(candidate);
+            }
+        }
+        for u in chosen {
+            edges.push((u, vid));
+            targets.push(u);
+            targets.push(vid);
+        }
+        targets.push(vid);
+    }
+    CsrGraph::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_is_roughly_k_per_node() {
+        let g = power_law(200, 3, 5).unwrap();
+        // First few nodes attach fewer edges; duplicates removed.
+        assert!(g.edge_count() <= 3 * 200);
+        assert!(g.edge_count() >= 3 * 190);
+    }
+
+    #[test]
+    fn has_skewed_degrees() {
+        let g = power_law(500, 2, 9).unwrap();
+        let avg = g.degree_sum() as f64 / g.node_count() as f64;
+        assert!(
+            g.max_degree() as f64 > 3.0 * avg,
+            "expected a hub: max degree {} vs average {avg}",
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    fn rejects_zero_edges_per_node() {
+        assert!(power_law(10, 0, 0).is_err());
+        // ... but a single node is fine.
+        assert!(power_law(1, 0, 0).is_ok());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(power_law(100, 2, 4).unwrap(), power_law(100, 2, 4).unwrap());
+        assert_ne!(power_law(100, 2, 4).unwrap(), power_law(100, 2, 5).unwrap());
+    }
+
+    #[test]
+    fn graph_is_connected_enough() {
+        let g = power_law(50, 1, 2).unwrap();
+        // With k=1 the graph is a forest-like structure with n-1-ish edges.
+        assert!(g.edge_count() >= 45);
+        assert!(g.nodes().skip(1).all(|v| g.degree(v) >= 1));
+    }
+}

@@ -1,0 +1,142 @@
+//! Descriptive statistics of graphs and instances, used by the experiment
+//! harness to label result tables.
+
+use crate::csr::CsrGraph;
+use crate::instance::ListColoringInstance;
+
+/// Summary statistics of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes 𝔫.
+    pub nodes: usize,
+    /// Number of undirected edges 𝔪.
+    pub edges: usize,
+    /// Maximum degree Δ.
+    pub max_degree: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Average degree 2𝔪/𝔫.
+    pub avg_degree: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics for `graph`.
+    pub fn of(graph: &CsrGraph) -> Self {
+        let nodes = graph.node_count();
+        let min_degree = graph.nodes().map(|v| graph.degree(v)).min().unwrap_or(0);
+        GraphStats {
+            nodes,
+            edges: graph.edge_count(),
+            max_degree: graph.max_degree(),
+            min_degree,
+            avg_degree: if nodes == 0 {
+                0.0
+            } else {
+                graph.degree_sum() as f64 / nodes as f64
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} Δ={} δ={} avg_deg={:.2}",
+            self.nodes, self.edges, self.max_degree, self.min_degree, self.avg_degree
+        )
+    }
+}
+
+/// Histogram of node degrees; bucket `i` counts nodes of degree `i`.
+pub fn degree_histogram(graph: &CsrGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; graph.max_degree() + 1];
+    for v in graph.nodes() {
+        hist[graph.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Summary statistics of a list-coloring instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceStats {
+    /// Graph statistics.
+    pub graph: GraphStats,
+    /// Smallest palette size.
+    pub min_palette: usize,
+    /// Largest palette size.
+    pub max_palette: usize,
+    /// Total palette storage in words.
+    pub palette_words: usize,
+    /// Minimum slack `p(v) - d(v)`.
+    pub min_slack: isize,
+}
+
+impl InstanceStats {
+    /// Computes statistics for `instance`.
+    pub fn of(instance: &ListColoringInstance) -> Self {
+        let sizes: Vec<usize> = instance.palettes().iter().map(|p| p.size()).collect();
+        InstanceStats {
+            graph: GraphStats::of(instance.graph()),
+            min_palette: sizes.iter().copied().min().unwrap_or(0),
+            max_palette: sizes.iter().copied().max().unwrap_or(0),
+            palette_words: instance.total_palette_words(),
+            min_slack: instance.min_slack(),
+        }
+    }
+}
+
+impl std::fmt::Display for InstanceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} palettes=[{}..{}] palette_words={} slack>={}",
+            self.graph, self.min_palette, self.max_palette, self.palette_words, self.min_slack
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn stats_of_star() {
+        let g = GraphBuilder::star(5).build();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(s.min_degree, 1);
+        assert!((s.avg_degree - 1.6).abs() < 1e-9);
+        assert!(format!("{s}").contains("Δ=4"));
+    }
+
+    #[test]
+    fn histogram_of_path() {
+        let g = GraphBuilder::path(5).build();
+        let h = degree_histogram(&g);
+        assert_eq!(h, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn instance_stats() {
+        let g = GraphBuilder::cycle(5).build();
+        let inst = ListColoringInstance::delta_plus_one(&g).unwrap();
+        let s = InstanceStats::of(&inst);
+        assert_eq!(s.min_palette, 3);
+        assert_eq!(s.max_palette, 3);
+        assert_eq!(s.min_slack, 1);
+        assert!(format!("{s}").contains("slack>=1"));
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = CsrGraph::empty(0);
+        let s = GraphStats::of(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(degree_histogram(&g), vec![0]);
+    }
+}

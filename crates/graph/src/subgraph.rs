@@ -1,0 +1,180 @@
+//! Induced subgraphs and subinstances with global ↔ local id mappings.
+//!
+//! The recursive partitioning of `ColorReduce` conceptually works on the
+//! graphs induced by each bin. The core algorithm mostly avoids materializing
+//! them (it filters adjacency lists by bin labels), but materialized
+//! subinstances are used when an instance is *collected onto a single
+//! machine* and colored locally, by the MIS reduction of the low-space
+//! algorithm, and extensively in tests.
+
+use crate::csr::CsrGraph;
+use crate::instance::ListColoringInstance;
+use crate::palette::Palette;
+use crate::NodeId;
+
+/// A graph induced by a subset of nodes of a parent graph, with the mapping
+/// back to the parent's node ids.
+#[derive(Debug, Clone)]
+pub struct InducedSubgraph {
+    /// The induced graph, with local ids `0..k`.
+    pub graph: CsrGraph,
+    /// `to_global[local]` is the parent id of local node `local`.
+    pub to_global: Vec<NodeId>,
+}
+
+impl InducedSubgraph {
+    /// Extracts the subgraph of `parent` induced by `nodes`.
+    ///
+    /// Duplicate entries in `nodes` are collapsed; the local ordering follows
+    /// increasing global id.
+    pub fn new(parent: &CsrGraph, nodes: &[NodeId]) -> Self {
+        let mut sorted: Vec<NodeId> = nodes.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut global_to_local = vec![usize::MAX; parent.node_count()];
+        for (local, &g) in sorted.iter().enumerate() {
+            global_to_local[g.index()] = local;
+        }
+        let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); sorted.len()];
+        for (local, &g) in sorted.iter().enumerate() {
+            for u in parent.neighbors(g) {
+                let lu = global_to_local[u.index()];
+                if lu != usize::MAX {
+                    adjacency[local].push(NodeId::from_index(lu));
+                }
+            }
+            // Parent adjacency is sorted by global id and the local order is
+            // the same order, so each list is already sorted.
+        }
+        InducedSubgraph {
+            graph: CsrGraph::from_adjacency(adjacency),
+            to_global: sorted,
+        }
+    }
+
+    /// Number of nodes in the subgraph.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Maps a local node id back to the parent graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range.
+    pub fn to_global(&self, local: NodeId) -> NodeId {
+        self.to_global[local.index()]
+    }
+}
+
+/// A list-coloring subinstance induced by a node subset, carrying the
+/// global-id mapping.
+#[derive(Debug, Clone)]
+pub struct InducedSubinstance {
+    /// The induced instance with local node ids.
+    pub instance: ListColoringInstance,
+    /// `to_global[local]` is the parent id of local node `local`.
+    pub to_global: Vec<NodeId>,
+}
+
+impl InducedSubinstance {
+    /// Extracts the subinstance of `parent` induced by `nodes`, cloning each
+    /// selected node's current palette (optionally transformed by
+    /// `palette_map`).
+    ///
+    /// `palette_map` receives the global node id and its palette and returns
+    /// the palette the node should carry in the subinstance; the identity is
+    /// `|_, p| p.clone()`.
+    pub fn new(
+        parent: &ListColoringInstance,
+        nodes: &[NodeId],
+        mut palette_map: impl FnMut(NodeId, &Palette) -> Palette,
+    ) -> Self {
+        let sub = InducedSubgraph::new(parent.graph(), nodes);
+        let palettes: Vec<Palette> = sub
+            .to_global
+            .iter()
+            .map(|&g| palette_map(g, parent.palette(g)))
+            .collect();
+        InducedSubinstance {
+            instance: ListColoringInstance::from_palettes_unchecked(sub.graph, palettes),
+            to_global: sub.to_global,
+        }
+    }
+
+    /// Number of nodes in the subinstance.
+    pub fn node_count(&self) -> usize {
+        self.instance.node_count()
+    }
+
+    /// Maps a local node id back to the parent instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range.
+    pub fn to_global(&self, local: NodeId) -> NodeId {
+        self.to_global[local.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::Color;
+
+    #[test]
+    fn induced_subgraph_of_cycle() {
+        let g = GraphBuilder::cycle(6).build();
+        // Nodes 0,1,2,3 of C6 induce a path 0-1-2-3.
+        let sub = InducedSubgraph::new(&g, &[NodeId(3), NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(sub.node_count(), 4);
+        assert_eq!(sub.graph.edge_count(), 3);
+        assert_eq!(sub.to_global(NodeId(0)), NodeId(0));
+        assert_eq!(sub.to_global(NodeId(3)), NodeId(3));
+        assert_eq!(sub.graph.degree(NodeId(0)), 1);
+        assert_eq!(sub.graph.degree(NodeId(1)), 2);
+    }
+
+    #[test]
+    fn induced_subgraph_deduplicates_nodes() {
+        let g = GraphBuilder::complete(4).build();
+        let sub = InducedSubgraph::new(&g, &[NodeId(1), NodeId(1), NodeId(2)]);
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(sub.graph.edge_count(), 1);
+    }
+
+    #[test]
+    fn empty_selection_gives_empty_graph() {
+        let g = GraphBuilder::complete(4).build();
+        let sub = InducedSubgraph::new(&g, &[]);
+        assert_eq!(sub.node_count(), 0);
+        assert_eq!(sub.graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn induced_subinstance_applies_palette_map() {
+        let g = GraphBuilder::complete(4).build();
+        let inst = ListColoringInstance::delta_plus_one(&g).unwrap();
+        let sub = InducedSubinstance::new(&inst, &[NodeId(0), NodeId(2)], |_, p| {
+            p.filtered(|c| c.0 < 2)
+        });
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(sub.instance.palette(NodeId(0)).to_vec(), vec![Color(0), Color(1)]);
+        assert_eq!(sub.to_global(NodeId(1)), NodeId(2));
+        // Induced graph keeps the 0-2 edge of K4.
+        assert_eq!(sub.instance.graph().edge_count(), 1);
+    }
+
+    #[test]
+    fn neighbor_lists_of_induced_subgraph_are_sorted() {
+        let g = GraphBuilder::complete(5).build();
+        let sub = InducedSubgraph::new(&g, &[NodeId(4), NodeId(2), NodeId(0)]);
+        for v in sub.graph.nodes() {
+            let nbrs: Vec<_> = sub.graph.neighbors(v).collect();
+            let mut sorted = nbrs.clone();
+            sorted.sort_unstable();
+            assert_eq!(nbrs, sorted);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Luby's randomized MIS algorithm with simulated round accounting.
+//!
+//! This is the randomized baseline the deterministic variant is compared
+//! against, and the algorithm whose per-phase structure the derandomized
+//! version (see [`crate::derand`]) mirrors.
+
+use cc_graph::csr::CsrGraph;
+use cc_sim::ClusterContext;
+use rand::Rng;
+
+use crate::MisResult;
+
+/// Simulated communication rounds charged per Luby phase (one exchange of
+/// priorities with neighbors, one announcement of joins/removals).
+pub const LUBY_PHASE_ROUNDS: u64 = 2;
+
+/// Randomized Luby MIS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LubyMis {
+    /// Safety cap on the number of phases (the algorithm terminates with
+    /// high probability in O(log n) phases).
+    pub max_phases: u64,
+}
+
+impl Default for LubyMis {
+    fn default() -> Self {
+        LubyMis { max_phases: 10_000 }
+    }
+}
+
+impl LubyMis {
+    /// Runs the algorithm on `graph`, drawing priorities from `rng` and
+    /// charging rounds to `ctx` under the label `luby`.
+    pub fn run(&self, ctx: &mut ClusterContext, graph: &CsrGraph, rng: &mut impl Rng) -> MisResult {
+        let n = graph.node_count();
+        let mut in_set = vec![false; n];
+        let mut active = vec![true; n];
+        let mut phases = 0u64;
+        while active.iter().any(|&a| a) && phases < self.max_phases {
+            phases += 1;
+            ctx.charge_rounds("luby", LUBY_PHASE_ROUNDS);
+            // Each active node draws a priority; ties broken by node id.
+            let priorities: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+            let joins = select_local_minima(graph, &active, &priorities);
+            apply_joins(graph, &joins, &mut in_set, &mut active);
+        }
+        MisResult { in_set, phases }
+    }
+}
+
+/// Returns the set of active nodes whose (priority, id) is strictly smaller
+/// than that of every active neighbor — the nodes that join the MIS this
+/// phase.
+pub(crate) fn select_local_minima(
+    graph: &CsrGraph,
+    active: &[bool],
+    priorities: &[u64],
+) -> Vec<bool> {
+    let mut joins = vec![false; graph.node_count()];
+    for v in graph.nodes() {
+        if !active[v.index()] {
+            continue;
+        }
+        let key_v = (priorities[v.index()], v.index());
+        let is_min = graph
+            .neighbors(v)
+            .filter(|u| active[u.index()])
+            .all(|u| key_v < (priorities[u.index()], u.index()));
+        joins[v.index()] = is_min;
+    }
+    joins
+}
+
+/// Moves joining nodes into the set and deactivates them and their
+/// neighbors.
+pub(crate) fn apply_joins(
+    graph: &CsrGraph,
+    joins: &[bool],
+    in_set: &mut [bool],
+    active: &mut [bool],
+) {
+    for v in graph.nodes() {
+        if joins[v.index()] {
+            in_set[v.index()] = true;
+            active[v.index()] = false;
+            for u in graph.neighbors(v) {
+                active[u.index()] = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_mis;
+    use cc_graph::builder::GraphBuilder;
+    use cc_graph::generators;
+    use cc_sim::ExecutionModel;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn ctx(n: usize) -> ClusterContext {
+        ClusterContext::new(ExecutionModel::congested_clique(n))
+    }
+
+    #[test]
+    fn luby_produces_valid_mis_on_random_graphs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for seed in 0..5 {
+            let g = generators::gnp(120, 0.08, seed).unwrap();
+            let mut c = ctx(120);
+            let r = LubyMis::default().run(&mut c, &g, &mut rng);
+            verify_mis(&g, &r.in_set).unwrap();
+            assert!(r.phases >= 1);
+            assert_eq!(c.rounds(), r.phases * LUBY_PHASE_ROUNDS);
+        }
+    }
+
+    #[test]
+    fn luby_on_empty_graph_takes_one_phase() {
+        let g = CsrGraph::empty(10);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let r = LubyMis::default().run(&mut ctx(10), &g, &mut rng);
+        assert_eq!(r.size(), 10);
+        assert_eq!(r.phases, 1);
+    }
+
+    #[test]
+    fn luby_phase_count_is_logarithmic_in_practice() {
+        let g = generators::gnp(500, 0.05, 3).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let r = LubyMis::default().run(&mut ctx(500), &g, &mut rng);
+        verify_mis(&g, &r.in_set).unwrap();
+        assert!(r.phases <= 40, "unexpectedly many phases: {}", r.phases);
+    }
+
+    #[test]
+    fn local_minima_selection_respects_ties_by_id() {
+        let g = GraphBuilder::path(3).build();
+        let active = vec![true, true, true];
+        // Equal priorities: node ids break ties, so node 0 and node 2 cannot
+        // both lose to node 1.
+        let joins = select_local_minima(&g, &active, &[7, 7, 7]);
+        assert_eq!(joins, vec![true, false, false]);
+    }
+
+    #[test]
+    fn max_phases_caps_runaway_loops() {
+        let g = GraphBuilder::complete(4).build();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let r = LubyMis { max_phases: 1 }.run(&mut ctx(4), &g, &mut rng);
+        assert!(r.phases <= 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Verification of independent sets.
+
+use cc_graph::csr::CsrGraph;
+use cc_graph::NodeId;
+
+/// Errors found when checking a claimed MIS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MisError {
+    /// Two adjacent nodes are both in the set.
+    NotIndependent {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+    },
+    /// A node outside the set has no neighbor in the set.
+    NotMaximal {
+        /// The node that could still join.
+        node: NodeId,
+    },
+    /// The membership vector has the wrong length.
+    WrongLength {
+        /// Provided length.
+        got: usize,
+        /// Expected length.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for MisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MisError::NotIndependent { u, v } => {
+                write!(f, "adjacent nodes {u} and {v} are both in the set")
+            }
+            MisError::NotMaximal { node } => {
+                write!(f, "node {node} is outside the set but has no neighbor inside")
+            }
+            MisError::WrongLength { got, expected } => {
+                write!(f, "membership vector has length {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MisError {}
+
+/// Checks that `in_set` is an independent set of `graph`.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn verify_independent(graph: &CsrGraph, in_set: &[bool]) -> Result<(), MisError> {
+    if in_set.len() != graph.node_count() {
+        return Err(MisError::WrongLength {
+            got: in_set.len(),
+            expected: graph.node_count(),
+        });
+    }
+    for (u, v) in graph.edges() {
+        if in_set[u.index()] && in_set[v.index()] {
+            return Err(MisError::NotIndependent { u, v });
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `in_set` is a *maximal* independent set of `graph`.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn verify_mis(graph: &CsrGraph, in_set: &[bool]) -> Result<(), MisError> {
+    verify_independent(graph, in_set)?;
+    for v in graph.nodes() {
+        if !in_set[v.index()] && !graph.neighbors(v).any(|u| in_set[u.index()]) {
+            return Err(MisError::NotMaximal { node: v });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::builder::GraphBuilder;
+
+    #[test]
+    fn accepts_valid_mis_of_path() {
+        let g = GraphBuilder::path(5).build();
+        // {0, 2, 4} is an MIS of the path 0-1-2-3-4.
+        let set = vec![true, false, true, false, true];
+        verify_mis(&g, &set).unwrap();
+    }
+
+    #[test]
+    fn rejects_dependent_set() {
+        let g = GraphBuilder::path(3).build();
+        let set = vec![true, true, false];
+        assert!(matches!(
+            verify_mis(&g, &set),
+            Err(MisError::NotIndependent { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_maximal_set() {
+        let g = GraphBuilder::path(5).build();
+        let set = vec![true, false, false, false, true];
+        assert!(matches!(
+            verify_mis(&g, &set),
+            Err(MisError::NotMaximal { node } ) if node == cc_graph::NodeId(2)
+        ));
+        // ... but it is still independent.
+        verify_independent(&g, &set).unwrap();
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let g = GraphBuilder::path(3).build();
+        assert!(matches!(
+            verify_mis(&g, &[true]),
+            Err(MisError::WrongLength { got: 1, expected: 3 })
+        ));
+    }
+
+    #[test]
+    fn isolated_nodes_must_be_in_the_set() {
+        let g = CsrGraph::empty(3);
+        assert!(verify_mis(&g, &[true, true, true]).is_ok());
+        assert!(verify_mis(&g, &[true, false, true]).is_err());
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = MisError::NotMaximal { node: NodeId(7) };
+        assert!(e.to_string().contains("v7"));
+    }
+}

@@ -1,0 +1,336 @@
+//! The execution context algorithms run against.
+//!
+//! A [`ClusterContext`] owns the round, communication, and space ledgers for
+//! one algorithm execution under one [`ExecutionModel`]. Algorithms call its
+//! methods (directly or through [`crate::primitives`]) for every operation
+//! that would cost communication in the real model; purely local computation
+//! is free, as in the model.
+
+use std::collections::BTreeMap;
+
+use crate::error::{SimError, Violation, ViolationKind};
+use crate::model::ExecutionModel;
+use crate::report::ExecutionReport;
+
+/// Round/space/communication accounting context for one simulated execution.
+#[derive(Debug, Clone)]
+pub struct ClusterContext {
+    model: ExecutionModel,
+    strict: bool,
+    rounds: u64,
+    rounds_by_label: BTreeMap<String, u64>,
+    total_comm_words: u64,
+    peak_local_words: usize,
+    peak_total_words: usize,
+    violations: Vec<Violation>,
+}
+
+impl ClusterContext {
+    /// Creates a lenient context: constraint violations are recorded in the
+    /// report but execution continues. This is the mode experiments use, so
+    /// a single overflow is visible without aborting a parameter sweep.
+    pub fn new(model: ExecutionModel) -> Self {
+        ClusterContext {
+            model,
+            strict: false,
+            rounds: 0,
+            rounds_by_label: BTreeMap::new(),
+            total_comm_words: 0,
+            peak_local_words: 0,
+            peak_total_words: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Creates a strict context: the first constraint violation is returned
+    /// as an error by the offending operation. Tests use this mode.
+    pub fn strict(model: ExecutionModel) -> Self {
+        ClusterContext {
+            strict: true,
+            ..ClusterContext::new(model)
+        }
+    }
+
+    /// The execution model being simulated.
+    pub fn model(&self) -> &ExecutionModel {
+        &self.model
+    }
+
+    /// Whether the context is strict.
+    pub fn is_strict(&self) -> bool {
+        self.strict
+    }
+
+    /// Total rounds charged so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Total words of communication charged so far.
+    pub fn communication_words(&self) -> u64 {
+        self.total_comm_words
+    }
+
+    /// Peak words observed on any single machine.
+    pub fn peak_local_words(&self) -> usize {
+        self.peak_local_words
+    }
+
+    /// Peak total words observed across all machines.
+    pub fn peak_total_words(&self) -> usize {
+        self.peak_total_words
+    }
+
+    /// Violations recorded so far (always empty in strict mode unless the
+    /// caller ignored errors).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Charges `rounds` communication rounds under the given phase label.
+    pub fn charge_rounds(&mut self, label: &str, rounds: u64) {
+        self.rounds += rounds;
+        *self.rounds_by_label.entry(label.to_string()).or_insert(0) += rounds;
+    }
+
+    /// Charges `words` of total communication volume (no rounds).
+    pub fn charge_communication(&mut self, words: u64) {
+        self.total_comm_words += words;
+    }
+
+    /// Records that some single machine holds `words` words, checking the
+    /// local space limit.
+    ///
+    /// # Errors
+    ///
+    /// In strict mode, returns [`SimError::ConstraintViolated`] if the limit
+    /// is exceeded.
+    pub fn observe_local_space(&mut self, label: &str, words: usize) -> Result<(), SimError> {
+        self.peak_local_words = self.peak_local_words.max(words);
+        if words > self.model.local_space_words {
+            return self.record(Violation {
+                label: label.to_string(),
+                kind: ViolationKind::LocalSpaceExceeded {
+                    words,
+                    limit: self.model.local_space_words,
+                },
+            });
+        }
+        Ok(())
+    }
+
+    /// Records that all machines together hold `words` words, checking the
+    /// total space limit.
+    ///
+    /// # Errors
+    ///
+    /// In strict mode, returns [`SimError::ConstraintViolated`] if the limit
+    /// is exceeded.
+    pub fn observe_total_space(&mut self, label: &str, words: usize) -> Result<(), SimError> {
+        self.peak_total_words = self.peak_total_words.max(words);
+        if words > self.model.total_space_words {
+            return self.record(Violation {
+                label: label.to_string(),
+                kind: ViolationKind::TotalSpaceExceeded {
+                    words,
+                    limit: self.model.total_space_words,
+                },
+            });
+        }
+        Ok(())
+    }
+
+    /// Records that some machine sends (or receives) `words` words within a
+    /// single routing round, checking the bandwidth limit.
+    ///
+    /// # Errors
+    ///
+    /// In strict mode, returns [`SimError::ConstraintViolated`] if the limit
+    /// is exceeded.
+    pub fn observe_bandwidth(&mut self, label: &str, words: usize) -> Result<(), SimError> {
+        self.total_comm_words += words as u64;
+        if words > self.model.per_round_bandwidth_words {
+            return self.record(Violation {
+                label: label.to_string(),
+                kind: ViolationKind::BandwidthExceeded {
+                    words,
+                    limit: self.model.per_round_bandwidth_words,
+                },
+            });
+        }
+        Ok(())
+    }
+
+    /// Creates a child context with the same model and strictness but fresh
+    /// ledgers, for work that runs *in parallel* with other children (e.g.
+    /// the recursive coloring of sibling bins). Combine the children back
+    /// with [`ClusterContext::join_parallel`].
+    pub fn fork(&self) -> ClusterContext {
+        ClusterContext {
+            model: self.model.clone(),
+            strict: self.strict,
+            ..ClusterContext::new(self.model.clone())
+        }
+    }
+
+    /// Merges ledgers of children that executed concurrently:
+    ///
+    /// * rounds advance by the **maximum** child round count (parallel
+    ///   branches share rounds) and the per-label breakdown of that slowest
+    ///   branch is folded in;
+    /// * communication volume adds up across children;
+    /// * peak local space is the maximum over children;
+    /// * peak total space treats the children as live simultaneously (their
+    ///   peak totals add up);
+    /// * violations are concatenated.
+    pub fn join_parallel(&mut self, children: Vec<ClusterContext>) {
+        if children.is_empty() {
+            return;
+        }
+        let slowest = children
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, c)| (c.rounds, usize::MAX - i))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        self.rounds += children[slowest].rounds;
+        for (label, rounds) in &children[slowest].rounds_by_label {
+            *self.rounds_by_label.entry(label.clone()).or_insert(0) += rounds;
+        }
+        let concurrent_total: usize = children.iter().map(|c| c.peak_total_words).sum();
+        self.peak_total_words = self.peak_total_words.max(concurrent_total);
+        for child in children {
+            self.total_comm_words += child.total_comm_words;
+            self.peak_local_words = self.peak_local_words.max(child.peak_local_words);
+            self.violations.extend(child.violations);
+        }
+    }
+
+    /// Produces the final report for this execution.
+    pub fn report(&self) -> ExecutionReport {
+        ExecutionReport {
+            model_label: self.model.label(),
+            machines: self.model.machines,
+            rounds: self.rounds,
+            rounds_by_label: self.rounds_by_label.clone(),
+            communication_words: self.total_comm_words,
+            peak_local_words: self.peak_local_words,
+            peak_total_words: self.peak_total_words,
+            local_space_limit: self.model.local_space_words,
+            total_space_limit: self.model.total_space_words,
+            violations: self.violations.clone(),
+        }
+    }
+
+    fn record(&mut self, violation: Violation) -> Result<(), SimError> {
+        if self.strict {
+            Err(SimError::ConstraintViolated(violation))
+        } else {
+            self.violations.push(violation);
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_model() -> ExecutionModel {
+        ExecutionModel::congested_clique(10)
+    }
+
+    #[test]
+    fn rounds_accumulate_by_label() {
+        let mut ctx = ClusterContext::new(small_model());
+        ctx.charge_rounds("partition", 3);
+        ctx.charge_rounds("partition", 2);
+        ctx.charge_rounds("collect", 1);
+        assert_eq!(ctx.rounds(), 6);
+        let report = ctx.report();
+        assert_eq!(report.rounds_by_label["partition"], 5);
+        assert_eq!(report.rounds_by_label["collect"], 1);
+    }
+
+    #[test]
+    fn lenient_mode_records_violations() {
+        let mut ctx = ClusterContext::new(small_model());
+        let limit = ctx.model().local_space_words;
+        ctx.observe_local_space("x", limit + 1).unwrap();
+        assert_eq!(ctx.violations().len(), 1);
+        assert_eq!(ctx.peak_local_words(), limit + 1);
+    }
+
+    #[test]
+    fn strict_mode_errors_on_violation() {
+        let mut ctx = ClusterContext::strict(small_model());
+        assert!(ctx.is_strict());
+        let limit = ctx.model().local_space_words;
+        assert!(ctx.observe_local_space("x", limit).is_ok());
+        let err = ctx.observe_local_space("x", limit + 1).unwrap_err();
+        assert!(matches!(err, SimError::ConstraintViolated(_)));
+    }
+
+    #[test]
+    fn total_space_and_bandwidth_checks() {
+        let mut ctx = ClusterContext::strict(small_model());
+        let total = ctx.model().total_space_words;
+        assert!(ctx.observe_total_space("t", total).is_ok());
+        assert!(ctx.observe_total_space("t", total + 1).is_err());
+        let bw = ctx.model().per_round_bandwidth_words;
+        assert!(ctx.observe_bandwidth("b", bw).is_ok());
+        assert!(ctx.observe_bandwidth("b", bw + 1).is_err());
+        // Bandwidth observations count toward communication volume.
+        assert_eq!(ctx.communication_words(), (bw + bw + 1) as u64);
+    }
+
+    #[test]
+    fn fork_and_join_parallel_take_max_rounds_and_sum_space() {
+        let mut parent = ClusterContext::new(small_model());
+        parent.charge_rounds("setup", 1);
+        let mut fast = parent.fork();
+        fast.charge_rounds("child", 2);
+        fast.observe_total_space("child", 30).unwrap();
+        fast.charge_communication(5);
+        let mut slow = parent.fork();
+        slow.charge_rounds("child", 7);
+        slow.observe_local_space("child", 12).unwrap();
+        slow.observe_total_space("child", 40).unwrap();
+        slow.charge_communication(9);
+        parent.join_parallel(vec![fast, slow]);
+        // 1 (setup) + max(2, 7) rounds.
+        assert_eq!(parent.rounds(), 8);
+        assert_eq!(parent.report().rounds_by_label["child"], 7);
+        // Communication adds up; space peaks combine as documented.
+        assert_eq!(parent.communication_words(), 14);
+        assert_eq!(parent.peak_local_words(), 12);
+        assert_eq!(parent.peak_total_words(), 70);
+        // Joining nothing is a no-op.
+        parent.join_parallel(vec![]);
+        assert_eq!(parent.rounds(), 8);
+    }
+
+    #[test]
+    fn fork_inherits_strictness_with_fresh_ledgers() {
+        let mut parent = ClusterContext::strict(small_model());
+        parent.charge_rounds("x", 5);
+        let child = parent.fork();
+        assert!(child.is_strict());
+        assert_eq!(child.rounds(), 0);
+    }
+
+    #[test]
+    fn report_reflects_peaks_and_limits() {
+        let mut ctx = ClusterContext::new(small_model());
+        ctx.observe_local_space("a", 5).unwrap();
+        ctx.observe_local_space("a", 3).unwrap();
+        ctx.observe_total_space("a", 70).unwrap();
+        ctx.charge_communication(11);
+        let r = ctx.report();
+        assert_eq!(r.peak_local_words, 5);
+        assert_eq!(r.peak_total_words, 70);
+        assert_eq!(r.communication_words, 11);
+        assert_eq!(r.local_space_limit, ctx.model().local_space_words);
+        assert!(r.violations.is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Assignment of weighted items (nodes with their edges and palettes) to
+//! machines.
+//!
+//! The paper distributes data so that "each node will be assigned a machine,
+//! which will store all of its adjacent edges" (Section 3.3), using
+//! O(1 + 𝔪/𝔫) machines in total. [`Distribution`] performs that packing and
+//! reports the per-machine loads, which the algorithms feed into the space
+//! ledger.
+
+/// An assignment of items to machines together with the resulting loads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Distribution {
+    machine_of: Vec<usize>,
+    loads: Vec<usize>,
+}
+
+impl Distribution {
+    /// Packs items of the given sizes (in words) onto machines of capacity
+    /// `capacity_words`, first-fit in item order. Items larger than the
+    /// capacity get a machine of their own (and will show up as a space
+    /// violation when observed against the ledger).
+    pub fn pack_first_fit(item_words: &[usize], capacity_words: usize) -> Self {
+        let mut machine_of = Vec::with_capacity(item_words.len());
+        let mut loads: Vec<usize> = Vec::new();
+        let mut current = 0usize;
+        for &w in item_words {
+            if loads.is_empty() || loads[current] + w > capacity_words && loads[current] > 0 {
+                loads.push(0);
+                current = loads.len() - 1;
+            }
+            loads[current] += w;
+            machine_of.push(current);
+        }
+        if loads.is_empty() {
+            loads.push(0);
+        }
+        Distribution { machine_of, loads }
+    }
+
+    /// Spreads items across exactly `machines` machines, assigning each item
+    /// to the currently least-loaded machine (longest-processing-time style
+    /// balancing without the sort, keeping item order deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machines == 0`.
+    pub fn pack_balanced(item_words: &[usize], machines: usize) -> Self {
+        assert!(machines > 0, "need at least one machine");
+        let mut loads = vec![0usize; machines];
+        let mut machine_of = Vec::with_capacity(item_words.len());
+        for &w in item_words {
+            let (target, _) = loads
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, &l)| (l, *i))
+                .expect("non-empty loads");
+            loads[target] += w;
+            machine_of.push(target);
+        }
+        Distribution { machine_of, loads }
+    }
+
+    /// The machine assigned to item `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn machine_of(&self, i: usize) -> usize {
+        self.machine_of[i]
+    }
+
+    /// Number of machines used.
+    pub fn machines_used(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Load (in words) of each machine.
+    pub fn loads(&self) -> &[usize] {
+        &self.loads
+    }
+
+    /// The largest per-machine load.
+    pub fn max_load(&self) -> usize {
+        self.loads.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The total load across machines.
+    pub fn total_load(&self) -> usize {
+        self.loads.iter().sum()
+    }
+
+    /// Items assigned to each machine, as index lists.
+    pub fn items_by_machine(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.machines_used()];
+        for (item, &machine) in self.machine_of.iter().enumerate() {
+            out[machine].push(item);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_fit_respects_capacity_when_items_fit() {
+        let items = vec![3, 3, 3, 3, 3];
+        let d = Distribution::pack_first_fit(&items, 7);
+        assert!(d.max_load() <= 7);
+        assert_eq!(d.total_load(), 15);
+        assert_eq!(d.machines_used(), 3);
+        // Item -> machine mapping is consistent with loads.
+        let by_machine = d.items_by_machine();
+        let recomputed: usize = by_machine.iter().flatten().map(|&i| items[i]).sum();
+        assert_eq!(recomputed, 15);
+    }
+
+    #[test]
+    fn first_fit_gives_oversized_items_their_own_machine() {
+        let d = Distribution::pack_first_fit(&[10, 2], 4);
+        assert_eq!(d.machine_of(0), 0);
+        assert_eq!(d.machine_of(1), 1);
+        assert_eq!(d.max_load(), 10);
+    }
+
+    #[test]
+    fn first_fit_of_empty_input_uses_one_idle_machine() {
+        let d = Distribution::pack_first_fit(&[], 4);
+        assert_eq!(d.machines_used(), 1);
+        assert_eq!(d.total_load(), 0);
+    }
+
+    #[test]
+    fn balanced_spreads_loads() {
+        let items = vec![5, 1, 1, 1, 1, 1];
+        let d = Distribution::pack_balanced(&items, 3);
+        assert_eq!(d.machines_used(), 3);
+        assert_eq!(d.total_load(), 10);
+        // The big item sits alone-ish: max load should be 5, not 10.
+        assert_eq!(d.max_load(), 5);
+    }
+
+    #[test]
+    fn balanced_is_deterministic() {
+        let items = vec![2, 2, 2, 2];
+        let a = Distribution::pack_balanced(&items, 2);
+        let b = Distribution::pack_balanced(&items, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one machine")]
+    fn balanced_rejects_zero_machines() {
+        let _ = Distribution::pack_balanced(&[1], 0);
+    }
+}

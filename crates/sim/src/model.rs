@@ -1,0 +1,198 @@
+//! Descriptions of the execution regimes: CONGESTED CLIQUE, linear-space MPC,
+//! and low-space MPC.
+
+use crate::constants::BIG_O_SLACK;
+
+/// Which abstract machine model is being simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// The CONGESTED CLIQUE: 𝔫 nodes, all-to-all O(log 𝔫)-bit messages per
+    /// round, Lenzen routing available.
+    CongestedClique,
+    /// MPC with Θ(𝔫) words of local space per machine.
+    MpcLinearSpace,
+    /// MPC with Θ(𝔫^ε) words of local space per machine.
+    MpcLowSpace {
+        /// The space exponent ε ∈ (0, 1).
+        epsilon_millis: u32,
+    },
+}
+
+impl ModelKind {
+    /// The low-space exponent ε, if this is the low-space regime.
+    pub fn epsilon(&self) -> Option<f64> {
+        match self {
+            ModelKind::MpcLowSpace { epsilon_millis } => Some(f64::from(*epsilon_millis) / 1000.0),
+            _ => None,
+        }
+    }
+}
+
+/// A fully specified execution regime: machine count and space limits in
+/// O(log 𝔫)-bit words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionModel {
+    /// Which model family this is.
+    pub kind: ModelKind,
+    /// Number of nodes 𝔫 of the input graph (used for O(𝔫)-style limits).
+    pub input_nodes: usize,
+    /// Number of machines 𝔐.
+    pub machines: usize,
+    /// Local space 𝔰 per machine, in words.
+    pub local_space_words: usize,
+    /// Total space 𝔐·𝔰 available, in words.
+    pub total_space_words: usize,
+    /// Maximum words a machine may send (and receive) in one routing round.
+    pub per_round_bandwidth_words: usize,
+}
+
+impl ExecutionModel {
+    /// The CONGESTED CLIQUE on an 𝔫-node input graph: 𝔫 machines (one per
+    /// node), O(𝔫) words of local space each (so Θ(𝔫²) total), and O(𝔫) words
+    /// of per-round bandwidth via Lenzen routing.
+    pub fn congested_clique(input_nodes: usize) -> Self {
+        let n = input_nodes.max(1);
+        let local = BIG_O_SLACK * n;
+        ExecutionModel {
+            kind: ModelKind::CongestedClique,
+            input_nodes,
+            machines: n,
+            local_space_words: local,
+            total_space_words: local * n,
+            per_round_bandwidth_words: local,
+        }
+    }
+
+    /// Linear-space MPC: machines with O(𝔫) words each and the given total
+    /// space budget (the paper's Theorem 1.2 uses O(𝔫Δ) total space for list
+    /// coloring, Theorem 1.3 uses O(𝔪+𝔫) for (Δ+1)-coloring).
+    pub fn mpc_linear(input_nodes: usize, total_space_words: usize) -> Self {
+        let n = input_nodes.max(1);
+        let local = BIG_O_SLACK * n;
+        let total = total_space_words.max(local);
+        ExecutionModel {
+            kind: ModelKind::MpcLinearSpace,
+            input_nodes,
+            machines: total.div_ceil(local).max(1),
+            local_space_words: local,
+            total_space_words: total,
+            per_round_bandwidth_words: local,
+        }
+    }
+
+    /// Low-space MPC: machines with O(𝔫^ε) words each and the given total
+    /// space budget (Theorem 1.4 uses O(𝔪 + 𝔫^{1+ε})).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < epsilon < 1`.
+    pub fn mpc_low_space(input_nodes: usize, epsilon: f64, total_space_words: usize) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0, 1)");
+        let n = input_nodes.max(1) as f64;
+        let local = (BIG_O_SLACK as f64 * n.powf(epsilon)).ceil() as usize;
+        let local = local.max(16);
+        let total = total_space_words.max(local);
+        ExecutionModel {
+            kind: ModelKind::MpcLowSpace {
+                epsilon_millis: (epsilon * 1000.0).round() as u32,
+            },
+            input_nodes,
+            machines: total.div_ceil(local).max(1),
+            local_space_words: local,
+            total_space_words: total,
+            per_round_bandwidth_words: local,
+        }
+    }
+
+    /// The low-space exponent ε, if applicable.
+    pub fn epsilon(&self) -> Option<f64> {
+        self.kind.epsilon()
+    }
+
+    /// Whether this regime can collect an object of `words` words onto a
+    /// single machine (the paper's "size O(𝔫)" collection step).
+    pub fn fits_on_one_machine(&self, words: usize) -> bool {
+        words <= self.local_space_words
+    }
+
+    /// Short label for result tables.
+    pub fn label(&self) -> String {
+        match self.kind {
+            ModelKind::CongestedClique => "congested-clique".to_string(),
+            ModelKind::MpcLinearSpace => "mpc-linear".to_string(),
+            ModelKind::MpcLowSpace { .. } => {
+                format!("mpc-low-space(eps={:.2})", self.epsilon().unwrap_or(0.0))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ExecutionModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [machines={}, local={}w, total={}w, bandwidth={}w/round]",
+            self.label(),
+            self.machines,
+            self.local_space_words,
+            self.total_space_words,
+            self.per_round_bandwidth_words
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn congested_clique_has_one_machine_per_node() {
+        let m = ExecutionModel::congested_clique(500);
+        assert_eq!(m.machines, 500);
+        assert_eq!(m.local_space_words, BIG_O_SLACK * 500);
+        assert_eq!(m.total_space_words, BIG_O_SLACK * 500 * 500);
+        assert!(m.fits_on_one_machine(500));
+        assert!(!m.fits_on_one_machine(BIG_O_SLACK * 500 + 1));
+        assert_eq!(m.epsilon(), None);
+        assert!(m.label().contains("clique"));
+    }
+
+    #[test]
+    fn linear_mpc_machine_count_covers_total_space() {
+        let m = ExecutionModel::mpc_linear(1000, 50 * 1000 * BIG_O_SLACK);
+        assert_eq!(m.machines, 50);
+        assert_eq!(m.machines * m.local_space_words, m.total_space_words);
+    }
+
+    #[test]
+    fn low_space_mpc_local_space_scales_sublinearly() {
+        let small = ExecutionModel::mpc_low_space(10_000, 0.5, 10_000_000);
+        assert!(small.local_space_words < 10_000);
+        assert!(small.local_space_words >= (10_000f64).sqrt() as usize);
+        assert!((small.epsilon().unwrap() - 0.5).abs() < 1e-9);
+        assert!(small.machines > 1);
+        assert!(small.label().contains("0.50"));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must lie in (0, 1)")]
+    fn low_space_rejects_bad_epsilon() {
+        let _ = ExecutionModel::mpc_low_space(100, 1.5, 1000);
+    }
+
+    #[test]
+    fn display_contains_all_quantities() {
+        let m = ExecutionModel::congested_clique(10);
+        let s = m.to_string();
+        assert!(s.contains("machines=10"));
+        assert!(s.contains("w/round"));
+    }
+
+    #[test]
+    fn degenerate_sizes_do_not_panic() {
+        let m = ExecutionModel::congested_clique(0);
+        assert_eq!(m.machines, 1);
+        let m = ExecutionModel::mpc_linear(0, 0);
+        assert!(m.total_space_words >= m.local_space_words);
+    }
+}

@@ -1,0 +1,45 @@
+//! # Congested Clique Coloring
+//!
+//! Umbrella crate for the reproduction of *Simple, Deterministic,
+//! Constant-Round Coloring in the Congested Clique* (Czumaj, Davies, Parter;
+//! PODC 2020). It re-exports the workspace crates so that examples and
+//! downstream users can depend on a single package.
+//!
+//! ```
+//! use congested_clique_coloring::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = GraphBuilder::cycle(8).build();
+//! let instance = ListColoringInstance::delta_plus_one(&graph)?;
+//! let outcome = ColorReduce::new(ColorReduceConfig::default())
+//!     .run(&instance, ExecutionModel::congested_clique(graph.node_count()))?;
+//! outcome.coloring().verify(&instance)?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub use cc_derand as derand;
+pub use cc_graph as graph;
+pub use cc_hash as hash;
+pub use cc_mis as mis;
+pub use cc_sim as sim;
+pub use clique_coloring as coloring;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use cc_graph::{
+        coloring::Coloring,
+        csr::CsrGraph,
+        builder::GraphBuilder,
+        generators,
+        instance::ListColoringInstance,
+        palette::Palette,
+        Color, NodeId,
+    };
+    pub use cc_sim::{model::ExecutionModel, report::ExecutionReport};
+    pub use clique_coloring::{
+        baselines,
+        color_reduce::{ColorReduce, ColorReduceConfig, ColorReduceOutcome},
+        low_space::{LowSpaceColorReduce, LowSpaceConfig},
+    };
+}

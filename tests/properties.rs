@@ -1,0 +1,141 @@
+//! Property-based tests (proptest) for the core invariants.
+
+use congested_clique_coloring::coloring::config::SeedStrategy;
+use congested_clique_coloring::prelude::*;
+use cc_graph::csr::CsrGraph;
+use cc_hash::{BitSeed, PolynomialHashFamily};
+use cc_mis::greedy::greedy_mis;
+use cc_mis::reduction::ReductionGraph;
+use cc_mis::verify::verify_mis;
+use proptest::prelude::*;
+
+fn fast_config() -> ColorReduceConfig {
+    ColorReduceConfig {
+        independence: 2,
+        seed_strategy: SeedStrategy::Derandomized {
+            chunk_bits: 61,
+            candidates_per_chunk: 4,
+            max_salts: 1,
+        },
+        ..ColorReduceConfig::default()
+    }
+}
+
+/// Strategy: an arbitrary simple graph on up to `max_n` nodes.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = CsrGraph> {
+    (2usize..=max_n).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n, 0..n), 0..=max_edges.min(4 * n)).prop_map(move |pairs| {
+            let edges = pairs
+                .into_iter()
+                .filter(|(a, b)| a != b)
+                .map(|(a, b)| (NodeId::from_index(a), NodeId::from_index(b)));
+            CsrGraph::from_edges(n, edges).expect("filtered edges are valid")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline invariant: on any graph, the deterministic algorithm
+    /// outputs a complete proper coloring where every node's color comes
+    /// from its palette — for both the (Δ+1) and (deg+1) variants.
+    #[test]
+    fn color_reduce_always_produces_proper_list_colorings(graph in arb_graph(60)) {
+        let n = graph.node_count();
+        for instance in [
+            ListColoringInstance::delta_plus_one(&graph).unwrap(),
+            ListColoringInstance::deg_plus_one(&graph).unwrap(),
+        ] {
+            let outcome = ColorReduce::new(fast_config())
+                .run(&instance, ExecutionModel::congested_clique(n))
+                .unwrap();
+            prop_assert!(outcome.coloring().verify(&instance).is_ok());
+            // Lemma 3.9's headline promise at any scale: no bad bins.
+            prop_assert_eq!(outcome.trace().total_bad_bins(), 0);
+        }
+    }
+
+    /// Palette bookkeeping never removes the last usable color: after
+    /// removing the colors of any subset of neighbors, a node still has a
+    /// color available (because p(v) > d(v)).
+    #[test]
+    fn palette_updates_preserve_colorability(graph in arb_graph(40), mask in any::<u64>()) {
+        let instance = ListColoringInstance::delta_plus_one(&graph).unwrap();
+        for v in graph.nodes() {
+            let mut palette = instance.palette(v).clone();
+            let removed: Vec<Color> = graph
+                .neighbors(v)
+                .enumerate()
+                .filter(|(i, _)| (mask >> (i % 64)) & 1 == 1)
+                .map(|(i, _)| Color(i as u64 % (graph.max_degree() as u64 + 1)))
+                .collect();
+            palette.remove_all(removed.iter().copied());
+            prop_assert!(palette.size() >= instance.palette(v).size() - graph.degree(v));
+            prop_assert!(!palette.is_empty() || graph.degree(v) >= instance.palette(v).size());
+        }
+    }
+
+    /// Hash families always map into their declared range, and the same seed
+    /// always gives the same function.
+    #[test]
+    fn hash_families_stay_in_range(domain in 2u64..5_000, range in 1u64..64, words in any::<[u64; 4]>()) {
+        let family = PolynomialHashFamily::new(3, domain, range);
+        let seed = BitSeed::from_words(family.seed_bits(), &words);
+        for x in (0..domain).step_by((domain as usize / 50).max(1)) {
+            let y = family.eval(&seed, x);
+            prop_assert!(y < range);
+            prop_assert_eq!(y, family.eval(&seed, x));
+        }
+    }
+
+    /// Any MIS of the reduction graph decodes to a proper list coloring
+    /// (Section 4.1), on arbitrary graphs.
+    #[test]
+    fn mis_reduction_round_trip(graph in arb_graph(30)) {
+        let instance = ListColoringInstance::deg_plus_one(&graph).unwrap();
+        let reduction = ReductionGraph::build(&instance);
+        let mis = greedy_mis(reduction.graph());
+        prop_assert!(verify_mis(reduction.graph(), &mis.in_set).is_ok());
+        let mut coloring = cc_graph::coloring::Coloring::empty(graph.node_count());
+        reduction.write_coloring(&mis.in_set, &mut coloring).unwrap();
+        prop_assert!(coloring.verify(&instance).is_ok());
+    }
+
+    /// The simulator's prefix-sum primitive matches a sequential reference
+    /// and charges a constant number of rounds regardless of input length.
+    #[test]
+    fn prefix_sum_matches_reference(values in proptest::collection::vec(0u64..1000, 0..200)) {
+        let model = ExecutionModel::congested_clique(values.len().max(1));
+        let mut ctx = cc_sim::ClusterContext::new(model);
+        let sums = cc_sim::primitives::prefix_sum(&mut ctx, "prop", &values);
+        let mut acc = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            acc += v;
+            prop_assert_eq!(sums[i], acc);
+        }
+        prop_assert_eq!(ctx.rounds(), cc_sim::constants::PREFIX_SUM_ROUNDS);
+    }
+
+    /// Induced subinstances preserve adjacency: an edge exists in the
+    /// subgraph iff both endpoints were selected and adjacent in the parent.
+    #[test]
+    fn induced_subgraphs_preserve_adjacency(graph in arb_graph(40), selector in any::<u64>()) {
+        let nodes: Vec<NodeId> = graph
+            .nodes()
+            .filter(|v| (selector >> (v.index() % 64)) & 1 == 1)
+            .collect();
+        let sub = cc_graph::subgraph::InducedSubgraph::new(&graph, &nodes);
+        for u in sub.graph.nodes() {
+            for w in sub.graph.neighbors(u) {
+                prop_assert!(graph.has_edge(sub.to_global(u), sub.to_global(w)));
+            }
+        }
+        let kept_edges = graph
+            .edges()
+            .filter(|(a, b)| nodes.contains(a) && nodes.contains(b))
+            .count();
+        prop_assert_eq!(sub.graph.edge_count(), kept_edges);
+    }
+}
