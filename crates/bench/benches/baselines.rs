@@ -29,7 +29,13 @@ fn bench_baselines(c: &mut Criterion) {
         })
     });
     group.bench_function("sequential_greedy", |b| {
-        b.iter(|| SequentialGreedy.run(&instance, model.clone()).unwrap().report.rounds)
+        b.iter(|| {
+            SequentialGreedy
+                .run(&instance, model.clone())
+                .unwrap()
+                .report
+                .rounds
+        })
     });
     group.bench_function("randomized_trial", |b| {
         b.iter(|| {

@@ -22,7 +22,10 @@ fn bench_color_reduce(c: &mut Criterion) {
             |b, instance| {
                 b.iter(|| {
                     let outcome = ColorReduce::new(practical_config())
-                        .run(instance, ExecutionModel::congested_clique(instance.node_count()))
+                        .run(
+                            instance,
+                            ExecutionModel::congested_clique(instance.node_count()),
+                        )
                         .unwrap();
                     assert!(outcome.coloring().is_complete());
                     outcome.rounds()

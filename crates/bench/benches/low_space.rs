@@ -19,8 +19,7 @@ fn bench_low_space(c: &mut Criterion) {
             &epsilon,
             |b, &epsilon| {
                 let config = LowSpaceConfig::scaled_down(epsilon);
-                let model =
-                    ExecutionModel::mpc_low_space(n, epsilon, instance.size_words() * 8);
+                let model = ExecutionModel::mpc_low_space(n, epsilon, instance.size_words() * 8);
                 b.iter(|| {
                     LowSpaceColorReduce::new(config.clone())
                         .run(&instance, model.clone())

@@ -36,7 +36,12 @@ fn rounds_vs_n(scale: Scale) {
     };
     let degree = 96;
     let mut table = Table::new([
-        "n", "Δ", "ColorReduce", "random-seed CR", "MIS-reduction", "rand-trial",
+        "n",
+        "Δ",
+        "ColorReduce",
+        "random-seed CR",
+        "MIS-reduction",
+        "rand-trial",
     ]);
     let mut records = Vec::new();
     let mut rng = ChaCha8Rng::seed_from_u64(1);
@@ -74,10 +79,34 @@ fn rounds_vs_n(scale: Scale) {
             mis.report.rounds.to_string(),
             trial.report.rounds.to_string(),
         ]);
-        records.push(RunRecord::from_report("E1", &spec.label, "color-reduce", stats, derand.report()));
-        records.push(RunRecord::from_report("E1", &spec.label, "color-reduce-random", stats, random.report()));
-        records.push(RunRecord::from_report("E1", &spec.label, "mis-reduction", stats, &mis.report));
-        records.push(RunRecord::from_report("E1", &spec.label, "randomized-trial", stats, &trial.report));
+        records.push(RunRecord::from_report(
+            "E1",
+            &spec.label,
+            "color-reduce",
+            stats,
+            derand.report(),
+        ));
+        records.push(RunRecord::from_report(
+            "E1",
+            &spec.label,
+            "color-reduce-random",
+            stats,
+            random.report(),
+        ));
+        records.push(RunRecord::from_report(
+            "E1",
+            &spec.label,
+            "mis-reduction",
+            stats,
+            &mis.report,
+        ));
+        records.push(RunRecord::from_report(
+            "E1",
+            &spec.label,
+            "randomized-trial",
+            stats,
+            &trial.report,
+        ));
     }
     table.print("E1a  rounds vs n (fixed Δ): ColorReduce is flat, baselines grow");
     write_json("e1_rounds_vs_n", &records);
@@ -89,7 +118,13 @@ fn rounds_vs_delta(scale: Scale) {
         Scale::Quick => vec![0.05, 0.15, 0.4],
         Scale::Full => vec![0.02, 0.05, 0.1, 0.2, 0.4, 0.8],
     };
-    let mut table = Table::new(["n", "Δ", "rounds", "recursion depth", "depth bound (theory)"]);
+    let mut table = Table::new([
+        "n",
+        "Δ",
+        "rounds",
+        "recursion depth",
+        "depth bound (theory)",
+    ]);
     let mut records = Vec::new();
     for &p in &densities {
         let spec = InstanceSpec::new(

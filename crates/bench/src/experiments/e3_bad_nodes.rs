@@ -60,7 +60,11 @@ pub fn run(scale: Scale) {
         let bad_bins: usize = partitions.iter().map(|p| p.bad_bins).sum();
         let bad_nodes: usize = partitions.iter().map(|p| p.bad_nodes).sum();
         let bound_sum: f64 = partitions.iter().map(|p| p.bad_node_bound.max(1.0)).sum();
-        let max_g0: usize = partitions.iter().map(|p| p.bad_graph_words).max().unwrap_or(0);
+        let max_g0: usize = partitions
+            .iter()
+            .map(|p| p.bad_graph_words)
+            .max()
+            .unwrap_or(0);
         let met: usize = partitions
             .iter()
             .filter(|p| p.seed_outcome.met_bound)

@@ -96,7 +96,14 @@ pub fn run(scale: Scale) {
             theory::guaranteed_collection_depth(decay),
         ));
         write_json(
-            &format!("e4_recursion_{}", if config_label.starts_with("paper") { "paper" } else { "scaled" }),
+            &format!(
+                "e4_recursion_{}",
+                if config_label.starts_with("paper") {
+                    "paper"
+                } else {
+                    "scaled"
+                }
+            ),
             &records,
         );
     }

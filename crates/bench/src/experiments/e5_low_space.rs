@@ -44,7 +44,9 @@ pub fn run(scale: Scale) {
                 format!("powerlaw(n={n})"),
                 GraphFamily::PowerLaw { edges_per_node: 5 },
                 n,
-                PaletteKind::DegPlusOneList { universe: 8 * n as u64 },
+                PaletteKind::DegPlusOneList {
+                    universe: 8 * n as u64,
+                },
                 41,
             );
             let instance = spec.build();
@@ -57,8 +59,7 @@ pub fn run(scale: Scale) {
                 .run(&instance, model)
                 .expect("E5 low-space");
             outcome.coloring.verify(&instance).expect("E5 verify");
-            let prediction =
-                (stats.2.max(2) as f64).log2() + (n as f64).ln().ln().max(0.0);
+            let prediction = (stats.2.max(2) as f64).log2() + (n as f64).ln().ln().max(0.0);
             table.row([
                 n.to_string(),
                 stats.2.to_string(),
@@ -70,7 +71,12 @@ pub fn run(scale: Scale) {
                 fmt_f64(prediction),
                 outcome.report.peak_local_words.to_string(),
                 outcome.report.local_space_limit.to_string(),
-                if outcome.report.within_limits() { "yes" } else { "NO" }.to_string(),
+                if outcome.report.within_limits() {
+                    "yes"
+                } else {
+                    "NO"
+                }
+                .to_string(),
             ]);
             records.push(
                 RunRecord::from_report(
@@ -88,6 +94,8 @@ pub fn run(scale: Scale) {
             );
         }
     }
-    table.print("E5  low-space MPC (deg+1)-list coloring: rounds scale with log Δ + log log n, not n");
+    table.print(
+        "E5  low-space MPC (deg+1)-list coloring: rounds scale with log Δ + log log n, not n",
+    );
     write_json("e5_low_space", &records);
 }

@@ -41,23 +41,25 @@ pub fn run(scale: Scale) {
         let stats = graph_stats(&instance);
         let mut cells = vec![spec.label.clone()];
         let mut check = |name: &str, ok: bool, rounds: u64| {
-            cells.push(if ok { format!("ok ({rounds}r)") } else { "FAIL".to_string() });
-            records.push(
-                RunRecord {
-                    experiment: "E6".into(),
-                    instance: spec.label.clone(),
-                    algorithm: name.into(),
-                    n: stats.0,
-                    m: stats.1,
-                    max_degree: stats.2,
-                    rounds,
-                    communication_words: 0,
-                    peak_local_words: 0,
-                    peak_total_words: 0,
-                    within_limits: ok,
-                    extra: vec![],
-                },
-            );
+            cells.push(if ok {
+                format!("ok ({rounds}r)")
+            } else {
+                "FAIL".to_string()
+            });
+            records.push(RunRecord {
+                experiment: "E6".into(),
+                instance: spec.label.clone(),
+                algorithm: name.into(),
+                n: stats.0,
+                m: stats.1,
+                max_degree: stats.2,
+                rounds,
+                communication_words: 0,
+                peak_local_words: 0,
+                peak_total_words: 0,
+                within_limits: ok,
+                extra: vec![],
+            });
         };
 
         let outcome = ColorReduce::new(practical_config())
@@ -82,8 +84,8 @@ pub fn run(scale: Scale) {
             low.rounds(),
         );
 
-        let random = randomized_color_reduce(&instance, clique_model(&instance), 5)
-            .expect("E6 random");
+        let random =
+            randomized_color_reduce(&instance, clique_model(&instance), 5).expect("E6 random");
         check(
             "color-reduce-random",
             random.coloring().verify(&instance).is_ok(),
@@ -93,20 +95,34 @@ pub fn run(scale: Scale) {
         let mis = MisReductionColoring::default()
             .run(&instance, clique_model(&instance))
             .expect("E6 mis");
-        check("mis-reduction", mis.coloring.verify(&instance).is_ok(), mis.report.rounds);
+        check(
+            "mis-reduction",
+            mis.coloring.verify(&instance).is_ok(),
+            mis.report.rounds,
+        );
 
         let trial = RandomizedTrialColoring::default()
             .run(&instance, clique_model(&instance), &mut rng)
             .expect("E6 trial");
-        check("randomized-trial", trial.coloring.verify(&instance).is_ok(), trial.report.rounds);
+        check(
+            "randomized-trial",
+            trial.coloring.verify(&instance).is_ok(),
+            trial.report.rounds,
+        );
 
         let greedy = SequentialGreedy
             .run(&instance, clique_model(&instance))
             .expect("E6 greedy");
-        check("sequential-greedy", greedy.coloring.verify(&instance).is_ok(), greedy.report.rounds);
+        check(
+            "sequential-greedy",
+            greedy.coloring.verify(&instance).is_ok(),
+            greedy.report.rounds,
+        );
 
         table.row(cells);
     }
-    table.print("E6  every algorithm produces a verified proper list coloring (rounds in parentheses)");
+    table.print(
+        "E6  every algorithm produces a verified proper list coloring (rounds in parentheses)",
+    );
     write_json("e6_correctness", &records);
 }

@@ -40,20 +40,25 @@ pub fn run(scale: Scale) {
     for spec in standard_families(n, 61) {
         let instance = spec.build();
         let stats = graph_stats(&instance);
-        let mut push = |algorithm: &str,
-                        deterministic: bool,
-                        report: &cc_sim::report::ExecutionReport| {
-            table.row([
-                spec.label.clone(),
-                algorithm.to_string(),
-                if deterministic { "yes" } else { "no" }.to_string(),
-                report.rounds.to_string(),
-                report.communication_words.to_string(),
-                report.peak_local_words.to_string(),
-                if report.within_limits() { "yes" } else { "NO" }.to_string(),
-            ]);
-            records.push(RunRecord::from_report("E7", &spec.label, algorithm, stats, report));
-        };
+        let mut push =
+            |algorithm: &str, deterministic: bool, report: &cc_sim::report::ExecutionReport| {
+                table.row([
+                    spec.label.clone(),
+                    algorithm.to_string(),
+                    if deterministic { "yes" } else { "no" }.to_string(),
+                    report.rounds.to_string(),
+                    report.communication_words.to_string(),
+                    report.peak_local_words.to_string(),
+                    if report.within_limits() { "yes" } else { "NO" }.to_string(),
+                ]);
+                records.push(RunRecord::from_report(
+                    "E7",
+                    &spec.label,
+                    algorithm,
+                    stats,
+                    report,
+                ));
+            };
 
         let derand = ColorReduce::new(practical_config())
             .run(&instance, clique_model(&instance))
@@ -61,8 +66,8 @@ pub fn run(scale: Scale) {
         derand.coloring().verify(&instance).expect("E7 verify");
         push("color-reduce (this paper)", true, derand.report());
 
-        let random = randomized_color_reduce(&instance, clique_model(&instance), 17)
-            .expect("E7 random");
+        let random =
+            randomized_color_reduce(&instance, clique_model(&instance), 17).expect("E7 random");
         push("color-reduce (random seeds)", false, random.report());
 
         let mis = MisReductionColoring::default()

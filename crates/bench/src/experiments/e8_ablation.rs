@@ -126,8 +126,14 @@ pub fn run(scale: Scale) {
             .collect();
         let bad_nodes: usize = partitions.iter().map(|p| p.bad_nodes).sum();
         let bad_bins: usize = partitions.iter().map(|p| p.bad_bins).sum();
-        let cost: f64 = partitions.iter().map(|p| p.seed_outcome.achieved_cost).sum();
-        let bound: f64 = partitions.iter().map(|p| p.seed_outcome.bound.max(1.0)).sum();
+        let cost: f64 = partitions
+            .iter()
+            .map(|p| p.seed_outcome.achieved_cost)
+            .sum();
+        let bound: f64 = partitions
+            .iter()
+            .map(|p| p.seed_outcome.bound.max(1.0))
+            .sum();
         let candidates: u64 = partitions
             .iter()
             .map(|p| p.seed_outcome.candidates_evaluated)
@@ -146,7 +152,10 @@ pub fn run(scale: Scale) {
             RunRecord::from_report("E8", &spec.label, &label, stats, outcome.report())
                 .with_extra("bad_nodes", bad_nodes as f64)
                 .with_extra("bad_bins", bad_bins as f64)
-                .with_extra("cost_over_bound", if bound > 0.0 { cost / bound } else { 0.0 })
+                .with_extra(
+                    "cost_over_bound",
+                    if bound > 0.0 { cost / bound } else { 0.0 },
+                )
                 .with_extra("candidates", candidates as f64)
                 .with_extra("max_depth", trace.max_depth() as f64),
         );

@@ -1,13 +1,15 @@
 //! Machine-readable experiment records (JSON), so EXPERIMENTS.md numbers can
 //! be regenerated and diffed.
+//!
+//! Serialization is hand-rolled: the build environment has no crates.io
+//! access, the record shape is flat, and a ~40-line formatter keeps the
+//! workspace free of a vendored `serde`/`serde_json`.
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-use serde::Serialize;
-
 /// One measured run of one algorithm on one instance.
-#[derive(Debug, Clone, Serialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
     /// Experiment id (e.g. "E1").
     pub experiment: String,
@@ -35,6 +37,72 @@ pub struct RunRecord {
     pub extra: Vec<(String, f64)>,
 }
 
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a finite `f64` as JSON (JSON has no NaN/Inf; those become `null`).
+fn json_number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serializes records as a JSON array, one field per line.
+pub fn to_json(records: &[RunRecord]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        let extra: Vec<String> = r
+            .extra
+            .iter()
+            .map(|(k, v)| format!("[\"{}\",{}]", escape_json(k), json_number(*v)))
+            .collect();
+        let fields = [
+            format!("\"experiment\":\"{}\"", escape_json(&r.experiment)),
+            format!("\"instance\":\"{}\"", escape_json(&r.instance)),
+            format!("\"algorithm\":\"{}\"", escape_json(&r.algorithm)),
+            format!("\"n\":{}", r.n),
+            format!("\"m\":{}", r.m),
+            format!("\"max_degree\":{}", r.max_degree),
+            format!("\"rounds\":{}", r.rounds),
+            format!("\"communication_words\":{}", r.communication_words),
+            format!("\"peak_local_words\":{}", r.peak_local_words),
+            format!("\"peak_total_words\":{}", r.peak_total_words),
+            format!("\"within_limits\":{}", r.within_limits),
+            format!("\"extra\":[{}]", extra.join(",")),
+        ];
+        for (j, field) in fields.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(field);
+        }
+        out.push_str("\n  }");
+    }
+    out.push_str("\n]");
+    out
+}
+
 /// Writes records as pretty JSON under `target/experiments/<name>.json`.
 ///
 /// Returns the path written. Errors are reported to stderr and swallowed —
@@ -46,13 +114,7 @@ pub fn write_json(name: &str, records: &[RunRecord]) -> Option<PathBuf> {
         return None;
     }
     let path = dir.join(format!("{name}.json"));
-    let json = match serde_json::to_string_pretty(records) {
-        Ok(j) => j,
-        Err(e) => {
-            eprintln!("warning: could not serialize {name}: {e}");
-            return None;
-        }
-    };
+    let json = to_json(records);
     match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
         Ok(()) => Some(path),
         Err(e) => {
@@ -117,9 +179,24 @@ mod tests {
 
     #[test]
     fn records_serialize_to_json() {
-        let json = serde_json::to_string(&[sample()]).unwrap();
+        let json = to_json(&[sample()]);
         assert!(json.contains("\"experiment\":\"E1\""));
         assert!(json.contains("bad_nodes"));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let mut r = sample();
+        r.instance = "quote \" backslash \\ newline \n".into();
+        let json = to_json(&[r]);
+        assert!(json.contains("quote \\\" backslash \\\\ newline \\n"));
+    }
+
+    #[test]
+    fn json_non_finite_extra_becomes_null() {
+        let r = sample().with_extra("ratio", f64::INFINITY);
+        let json = to_json(&[r]);
+        assert!(json.contains("[\"ratio\",null]"));
     }
 
     #[test]

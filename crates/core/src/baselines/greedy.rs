@@ -1,7 +1,7 @@
 //! Sequential greedy list coloring as a centralized baseline.
 
-use cc_graph::instance::ListColoringInstance;
 use cc_graph::coloring::Coloring;
+use cc_graph::instance::ListColoringInstance;
 use cc_graph::NodeId;
 use cc_sim::primitives::collect_to_single_machine;
 use cc_sim::{ClusterContext, ExecutionModel};
@@ -52,7 +52,9 @@ mod tests {
         let instance =
             instance_with_palettes(&graph, PaletteKind::DegPlusOneList { universe: 2000 }, 2)
                 .unwrap();
-        let out = SequentialGreedy.run(&instance, ExecutionModel::congested_clique(100)).unwrap();
+        let out = SequentialGreedy
+            .run(&instance, ExecutionModel::congested_clique(100))
+            .unwrap();
         out.coloring.verify(&instance).unwrap();
         assert_eq!(out.name, "sequential-greedy");
         assert!(out.report.rounds > 0);
@@ -62,7 +64,9 @@ mod tests {
     fn dense_instances_violate_single_machine_space() {
         let graph = generators::gnp(300, 0.5, 2).unwrap();
         let instance = ListColoringInstance::delta_plus_one(&graph).unwrap();
-        let out = SequentialGreedy.run(&instance, ExecutionModel::congested_clique(300)).unwrap();
+        let out = SequentialGreedy
+            .run(&instance, ExecutionModel::congested_clique(300))
+            .unwrap();
         out.coloring.verify(&instance).unwrap();
         assert!(
             !out.report.within_limits(),

@@ -68,10 +68,11 @@ impl RandomizedTrialColoring {
             // already-colored neighbor.
             let mut newly_colored: Vec<NodeId> = Vec::new();
             for &v in &uncolored {
-                let Some(c) = proposal[v.index()] else { continue };
+                let Some(c) = proposal[v.index()] else {
+                    continue;
+                };
                 let clash = graph.neighbors(v).any(|u| {
-                    coloring.color_of(u) == Some(c)
-                        || (proposal[u.index()] == Some(c) && u < v)
+                    coloring.color_of(u) == Some(c) || (proposal[u.index()] == Some(c) && u < v)
                 });
                 if !clash {
                     coloring.assign(v, c)?;

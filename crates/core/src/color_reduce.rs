@@ -310,8 +310,7 @@ impl ColorReduce {
         if !outcome.bad_nodes.is_empty() {
             ctx.charge_rounds(&format!("palette-update/{level}"), LENZEN_ROUTING_ROUNDS);
             update_palettes_from_neighbors(graph, palettes, coloring, &outcome.bad_nodes);
-            let bad_size =
-                ActiveSubgraph::new(graph, palettes, &outcome.bad_nodes).size_words();
+            let bad_size = ActiveSubgraph::new(graph, palettes, &outcome.bad_nodes).size_words();
             collect_to_single_machine(ctx, &format!("collect-bad/{level}"), bad_size)?;
             color_greedily(graph, palettes, coloring, &outcome.bad_nodes)?;
         }
@@ -363,7 +362,10 @@ mod tests {
         ] {
             let instance = ListColoringInstance::delta_plus_one(&graph).unwrap();
             let outcome = ColorReduce::new(fast_config())
-                .run(&instance, ExecutionModel::congested_clique(graph.node_count()))
+                .run(
+                    &instance,
+                    ExecutionModel::congested_clique(graph.node_count()),
+                )
                 .unwrap();
             outcome.coloring().verify(&instance).unwrap();
         }
@@ -380,7 +382,7 @@ mod tests {
             .unwrap();
         outcome.coloring().verify(&instance).unwrap();
         assert!(outcome.rounds() > 0);
-        assert!(outcome.trace().calls().len() >= 1);
+        assert!(!outcome.trace().calls().is_empty());
     }
 
     #[test]
@@ -398,7 +400,11 @@ mod tests {
             "expected at least one partition call"
         );
         assert!(outcome.trace().max_depth() >= 1);
-        assert!(outcome.report().within_limits(), "{:?}", outcome.report().violations);
+        assert!(
+            outcome.report().within_limits(),
+            "{:?}",
+            outcome.report().violations
+        );
     }
 
     #[test]
@@ -438,8 +444,10 @@ mod tests {
     fn invalid_config_is_rejected() {
         let graph = GraphBuilder::cycle(10).build();
         let instance = ListColoringInstance::delta_plus_one(&graph).unwrap();
-        let mut config = ColorReduceConfig::default();
-        config.bin_exponent = 2.0;
+        let config = ColorReduceConfig {
+            bin_exponent: 2.0,
+            ..Default::default()
+        };
         let err = ColorReduce::new(config)
             .run(&instance, ExecutionModel::congested_clique(10))
             .unwrap_err();

@@ -235,21 +235,29 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_parameters() {
-        let mut c = ColorReduceConfig::default();
-        c.bin_exponent = 1.5;
-        assert!(c.validate().is_err());
-        let mut c = ColorReduceConfig::default();
-        c.independence = 0;
-        assert!(c.validate().is_err());
-        let mut c = ColorReduceConfig::default();
-        c.seed_strategy = SeedStrategy::Derandomized {
-            chunk_bits: 0,
-            candidates_per_chunk: 8,
-            max_salts: 1,
+        let c = ColorReduceConfig {
+            bin_exponent: 1.5,
+            ..Default::default()
         };
         assert!(c.validate().is_err());
-        let mut c = ColorReduceConfig::default();
-        c.max_recursion_depth = 0;
+        let c = ColorReduceConfig {
+            independence: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ColorReduceConfig {
+            seed_strategy: SeedStrategy::Derandomized {
+                chunk_bits: 0,
+                candidates_per_chunk: 8,
+                max_salts: 1,
+            },
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ColorReduceConfig {
+            max_recursion_depth: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -36,7 +36,10 @@ impl std::fmt::Display for CoreError {
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
             CoreError::Sim(e) => write!(f, "simulation error: {e}"),
             CoreError::PaletteExhausted { node } => {
-                write!(f, "no available color for node {node} during local coloring")
+                write!(
+                    f,
+                    "no available color for node {node} during local coloring"
+                )
             }
             CoreError::RecursionDepthExceeded { limit } => {
                 write!(f, "recursion exceeded the safety depth of {limit}")

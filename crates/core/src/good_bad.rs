@@ -94,10 +94,7 @@ impl ActiveSubgraph {
         let mut degree_in = vec![0u32; n];
         let mut edges_within = 0usize;
         for &v in &sorted {
-            let d = graph
-                .neighbors(v)
-                .filter(|u| active[u.index()])
-                .count();
+            let d = graph.neighbors(v).filter(|u| active[u.index()]).count();
             degree_in[v.index()] = d as u32;
             edges_within += d;
         }
@@ -255,8 +252,7 @@ pub fn evaluate_binning(
             };
             in_bin_palette[i] = p_in;
             let p = sub.palette_size[i] as f64;
-            let palette_ok =
-                f64::from(p_in) >= p / params.bins as f64 + params.palette_slack;
+            let palette_ok = f64::from(p_in) >= p / params.bins as f64 + params.palette_slack;
             node_good[i] = degree_ok && palette_ok;
         }
     }

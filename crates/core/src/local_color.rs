@@ -102,7 +102,10 @@ mod tests {
         let mut coloring = Coloring::empty(2);
         let err =
             color_greedily(&g, &palettes, &mut coloring, &[NodeId(0), NodeId(1)]).unwrap_err();
-        assert!(matches!(err, CoreError::PaletteExhausted { node: NodeId(1) }));
+        assert!(matches!(
+            err,
+            CoreError::PaletteExhausted { node: NodeId(1) }
+        ));
     }
 
     #[test]
@@ -112,8 +115,7 @@ mod tests {
         let mut coloring = Coloring::empty(4);
         coloring.assign(NodeId(1), Color(2)).unwrap();
         coloring.assign(NodeId(2), Color(3)).unwrap();
-        let removed =
-            update_palettes_from_neighbors(&g, &mut palettes, &coloring, &[NodeId(0)]);
+        let removed = update_palettes_from_neighbors(&g, &mut palettes, &coloring, &[NodeId(0)]);
         assert_eq!(removed, 2);
         assert!(!palettes[0].contains(Color(2)));
         assert!(!palettes[0].contains(Color(3)));

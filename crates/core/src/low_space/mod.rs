@@ -193,7 +193,15 @@ impl LowSpaceColorReduce {
         ctx.observe_total_space("input-shards", instance.size_words())?;
 
         let active: Vec<NodeId> = graph.nodes().collect();
-        self.reduce(&mut ctx, graph, &mut palettes, &mut coloring, active, 0, &mut stats)?;
+        self.reduce(
+            &mut ctx,
+            graph,
+            &mut palettes,
+            &mut coloring,
+            active,
+            0,
+            &mut stats,
+        )?;
         coloring.verify(instance)?;
         Ok(LowSpaceOutcome {
             coloring,
@@ -257,8 +265,7 @@ impl LowSpaceColorReduce {
         // Restrict palettes of bins 1..B-1 to their color class.
         let color_bins = bins - 1;
         if color_bins >= 2 {
-            for (bin_index, bin_nodes) in
-                outcome.bins.iter().take(color_bins as usize).enumerate()
+            for (bin_index, bin_nodes) in outcome.bins.iter().take(color_bins as usize).enumerate()
             {
                 for &v in bin_nodes {
                     palettes[v.index()] = palettes[v.index()]

@@ -78,9 +78,11 @@ impl<'a> LowSpaceCost<'a> {
         let coeff_nodes = self
             .family_nodes
             .coefficients(&slice_seed(seed, 0, node_bits));
-        let coeff_colors = self
-            .family_colors
-            .coefficients(&slice_seed(seed, node_bits, self.family_colors.seed_bits()));
+        let coeff_colors = self.family_colors.coefficients(&slice_seed(
+            seed,
+            node_bits,
+            self.family_colors.seed_bits(),
+        ));
         let bins = self.bins;
         let color_bins = (bins - 1).max(1);
         let count = self.sub.len();
@@ -113,7 +115,8 @@ impl<'a> LowSpaceCost<'a> {
                 self.palettes[v.index()]
                     .iter()
                     .filter(|c| {
-                        self.family_colors.eval_with_coefficients(&coeff_colors, c.0)
+                        self.family_colors
+                            .eval_with_coefficients(&coeff_colors, c.0)
                             == u64::from(my_bin)
                     })
                     .count() as u32

@@ -229,8 +229,11 @@ pub fn partition(
 
     let evaluation = (*cost.evaluation(&outcome.seed)).clone();
     let node_bits = family_nodes.seed_bits();
-    let color_hash =
-        family_colors.with_seed(slice_seed(&outcome.seed, node_bits, family_colors.seed_bits()));
+    let color_hash = family_colors.with_seed(slice_seed(
+        &outcome.seed,
+        node_bits,
+        family_colors.seed_bits(),
+    ));
 
     // Split the active nodes into bins and the bad set.
     let mut bin_lists: Vec<Vec<NodeId>> = vec![Vec::new(); bins as usize];
@@ -318,10 +321,19 @@ mod tests {
         };
         let ell = g.max_degree() as u64;
         let mut c = ctx(150);
-        let out = partition(&mut c, "partition", &g, &palettes, &sub, ell, 2, 150, &config);
+        let out = partition(
+            &mut c,
+            "partition",
+            &g,
+            &palettes,
+            &sub,
+            ell,
+            2,
+            150,
+            &config,
+        );
         // Every active node lands in exactly one bin or the bad set.
-        let total: usize =
-            out.bins.iter().map(Vec::len).sum::<usize>() + out.bad_nodes.len();
+        let total: usize = out.bins.iter().map(Vec::len).sum::<usize>() + out.bad_nodes.len();
         assert_eq!(total, 150);
         assert_eq!(out.bin_count, 2);
         assert_eq!(out.bins.len(), 2);
@@ -346,8 +358,28 @@ mod tests {
             ..ColorReduceConfig::paper()
         };
         let ell = g.max_degree() as u64;
-        let a = partition(&mut ctx(100), "p", &g, &palettes, &sub, ell, 2, 100, &config);
-        let b = partition(&mut ctx(100), "p", &g, &palettes, &sub, ell, 2, 100, &config);
+        let a = partition(
+            &mut ctx(100),
+            "p",
+            &g,
+            &palettes,
+            &sub,
+            ell,
+            2,
+            100,
+            &config,
+        );
+        let b = partition(
+            &mut ctx(100),
+            "p",
+            &g,
+            &palettes,
+            &sub,
+            ell,
+            2,
+            100,
+            &config,
+        );
         assert_eq!(a.bins, b.bins);
         assert_eq!(a.bad_nodes, b.bad_nodes);
         assert_eq!(a.record.seed_outcome.seed, b.record.seed_outcome.seed);
@@ -371,13 +403,30 @@ mod tests {
             seed_strategy: SeedStrategy::FixedSalt { salt: 1 },
             ..ColorReduceConfig::paper()
         };
-        let derand =
-            partition(&mut ctx(200), "p", &g, &palettes, &sub, ell, 2, 200, &derand_config);
-        let fixed =
-            partition(&mut ctx(200), "p", &g, &palettes, &sub, ell, 2, 200, &fixed_config);
+        let derand = partition(
+            &mut ctx(200),
+            "p",
+            &g,
+            &palettes,
+            &sub,
+            ell,
+            2,
+            200,
+            &derand_config,
+        );
+        let fixed = partition(
+            &mut ctx(200),
+            "p",
+            &g,
+            &palettes,
+            &sub,
+            ell,
+            2,
+            200,
+            &fixed_config,
+        );
         assert!(
-            derand.record.seed_outcome.achieved_cost
-                <= fixed.record.seed_outcome.achieved_cost
+            derand.record.seed_outcome.achieved_cost <= fixed.record.seed_outcome.achieved_cost
         );
     }
 
@@ -393,7 +442,17 @@ mod tests {
             ..ColorReduceConfig::paper()
         };
         let ell = g.max_degree() as u64;
-        let out = partition(&mut ctx(120), "p", &g, &palettes, &sub, ell, 3, 120, &config);
+        let out = partition(
+            &mut ctx(120),
+            "p",
+            &g,
+            &palettes,
+            &sub,
+            ell,
+            3,
+            120,
+            &config,
+        );
         assert_eq!(out.bins.len(), 3);
         for color in palettes[0].iter() {
             assert!(out.color_hash.eval(color.0) < 2);

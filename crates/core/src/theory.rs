@@ -108,7 +108,10 @@ mod tests {
         let n = 1_000_000usize;
         let delta = 999_999u64;
         let constant = collection_size_constant(n, delta, 0.9);
-        assert!(constant <= 2.0 * 6f64.powi(9), "constant {constant} too large");
+        assert!(
+            constant <= 2.0 * 6f64.powi(9),
+            "constant {constant} too large"
+        );
         assert!(constant > 1.0);
     }
 

@@ -39,7 +39,7 @@ impl ExactMceSelector {
     /// Panics if `chunk_bits` is 0 or larger than [`MAX_EXACT_SEED_BITS`].
     pub fn new(chunk_bits: usize) -> Self {
         assert!(
-            chunk_bits >= 1 && chunk_bits <= MAX_EXACT_SEED_BITS,
+            (1..=MAX_EXACT_SEED_BITS).contains(&chunk_bits),
             "chunk_bits must be in 1..={MAX_EXACT_SEED_BITS}"
         );
         ExactMceSelector { chunk_bits }
@@ -47,11 +47,7 @@ impl ExactMceSelector {
 
     /// Exact expected total cost given that bits `0..fixed_bits` of `seed`
     /// are fixed and the rest are uniformly random.
-    pub fn conditional_expectation(
-        cost: &dyn SeedCost,
-        seed: &BitSeed,
-        fixed_bits: usize,
-    ) -> f64 {
+    pub fn conditional_expectation(cost: &dyn SeedCost, seed: &BitSeed, fixed_bits: usize) -> f64 {
         let free_bits = seed.len().saturating_sub(fixed_bits);
         assert!(
             free_bits <= MAX_EXACT_SEED_BITS,
@@ -102,7 +98,8 @@ impl SeedSelector for ExactMceSelector {
             // Machines report, per candidate, their share of the conditional
             // expectation; here that share is computed centrally per machine
             // to keep the accounting identical to the greedy selector.
-            let mut per_machine: Vec<Vec<f64>> = vec![Vec::with_capacity(values as usize); machines.max(1)];
+            let mut per_machine: Vec<Vec<f64>> =
+                vec![Vec::with_capacity(values as usize); machines.max(1)];
             let mut totals_direct = Vec::with_capacity(values as usize);
             for value in 0..values {
                 let mut trial = seed.clone();
@@ -112,17 +109,12 @@ impl SeedSelector for ExactMceSelector {
                 for (machine, row) in per_machine.iter_mut().enumerate() {
                     // Attribute the expectation evenly for accounting; the
                     // exact split across machines does not affect the sum.
-                    let share = if machine == 0 {
-                        expectation
-                    } else {
-                        0.0
-                    };
+                    let share = if machine == 0 { expectation } else { 0.0 };
                     row.push(share);
                 }
             }
             candidates_evaluated += values;
-            let totals = aggregate_f64_vectors(ctx, label, &per_machine)
-                .unwrap_or(totals_direct);
+            let totals = aggregate_f64_vectors(ctx, label, &per_machine).unwrap_or(totals_direct);
             let (best_value, _) = totals
                 .iter()
                 .copied()
@@ -223,11 +215,20 @@ mod tests {
         let cost = TableCost::new(table);
         let seed = BitSeed::zeros(2);
         // Nothing fixed: mean of all four entries = 4.
-        assert_eq!(ExactMceSelector::conditional_expectation(&cost, &seed, 0), 4.0);
+        assert_eq!(
+            ExactMceSelector::conditional_expectation(&cost, &seed, 0),
+            4.0
+        );
         // Bit 0 fixed to 0: entries {0, 2} -> mean 3.
-        assert_eq!(ExactMceSelector::conditional_expectation(&cost, &seed, 1), 3.0);
+        assert_eq!(
+            ExactMceSelector::conditional_expectation(&cost, &seed, 1),
+            3.0
+        );
         // Everything fixed: exactly entry 0.
-        assert_eq!(ExactMceSelector::conditional_expectation(&cost, &seed, 2), 1.0);
+        assert_eq!(
+            ExactMceSelector::conditional_expectation(&cost, &seed, 2),
+            1.0
+        );
     }
 
     #[test]

@@ -56,8 +56,14 @@ impl GreedyChunkSelector {
     /// Panics if `chunk_bits` is not in `1..=61`, or either of the other
     /// parameters is zero.
     pub fn new(chunk_bits: usize, candidates_per_chunk: usize, max_salts: u32) -> Self {
-        assert!((1..=61).contains(&chunk_bits), "chunk_bits must be in 1..=61");
-        assert!(candidates_per_chunk >= 1, "need at least one candidate per chunk");
+        assert!(
+            (1..=61).contains(&chunk_bits),
+            "chunk_bits must be in 1..=61"
+        );
+        assert!(
+            candidates_per_chunk >= 1,
+            "need at least one candidate per chunk"
+        );
         assert!(max_salts >= 1, "need at least one completion schedule");
         GreedyChunkSelector {
             chunk_bits,
@@ -87,9 +93,7 @@ impl GreedyChunkSelector {
             (0..self.candidates_per_chunk as u64)
                 .map(|j| {
                     splitmix64(
-                        salt.wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                            ^ ((chunk_index as u64) << 32)
-                            ^ j,
+                        salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ ((chunk_index as u64) << 32) ^ j,
                     ) & mask
                 })
                 .collect()
@@ -224,7 +228,11 @@ mod tests {
         let outcome = selector.select(&mut ctx, "mce", family.seed_bits(), &cost);
         // Expectation is ~200/8 = 25 (+1 slack in the bound); the zero seed
         // would cost 200, so the search must have done real work.
-        assert!(outcome.met_bound, "achieved {} vs bound {}", outcome.achieved_cost, outcome.bound);
+        assert!(
+            outcome.met_bound,
+            "achieved {} vs bound {}",
+            outcome.achieved_cost, outcome.bound
+        );
         assert!(outcome.achieved_cost <= outcome.bound);
         assert!(outcome.candidates_evaluated > 0);
         assert!(ctx.rounds() > 0, "seed selection must charge rounds");

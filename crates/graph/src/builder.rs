@@ -190,7 +190,8 @@ mod tests {
     #[test]
     fn builder_chaining_and_queued_edges() {
         let mut b = GraphBuilder::new(3);
-        b.add_edge(NodeId(0), NodeId(1)).add_edge(NodeId(1), NodeId(2));
+        b.add_edge(NodeId(0), NodeId(1))
+            .add_edge(NodeId(1), NodeId(2));
         b.add_edges([(NodeId(0), NodeId(2))]);
         assert_eq!(b.queued_edges(), 3);
         assert_eq!(b.build().edge_count(), 3);

@@ -192,7 +192,10 @@ mod tests {
         c.assign(NodeId(2), Color(2)).unwrap();
         assert!(matches!(
             c.verify(&inst),
-            Err(GraphError::ColorNotInPalette { node: NodeId(0), color: Color(99) })
+            Err(GraphError::ColorNotInPalette {
+                node: NodeId(0),
+                color: Color(99)
+            })
         ));
     }
 

@@ -44,10 +44,16 @@ impl CsrGraph {
         let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); node_count];
         for (u, v) in edges {
             if u.index() >= node_count {
-                return Err(GraphError::NodeOutOfRange { node: u, node_count });
+                return Err(GraphError::NodeOutOfRange {
+                    node: u,
+                    node_count,
+                });
             }
             if v.index() >= node_count {
-                return Err(GraphError::NodeOutOfRange { node: v, node_count });
+                return Err(GraphError::NodeOutOfRange {
+                    node: v,
+                    node_count,
+                });
             }
             if u == v {
                 return Err(GraphError::SelfLoop { node: u });
@@ -226,7 +232,13 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let err = CsrGraph::from_edges(2, [(NodeId(0), NodeId(5))]).unwrap_err();
-        assert!(matches!(err, GraphError::NodeOutOfRange { node: NodeId(5), node_count: 2 }));
+        assert!(matches!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: NodeId(5),
+                node_count: 2
+            }
+        ));
     }
 
     #[test]

@@ -42,7 +42,11 @@ pub fn clustered(
     let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
     for u in 0..n {
         for v in (u + 1)..n {
-            let p = if community_of(u) == community_of(v) { p_in } else { p_out };
+            let p = if community_of(u) == community_of(v) {
+                p_in
+            } else {
+                p_out
+            };
             if rng.gen_bool(p) {
                 edges.push((NodeId::from_index(u), NodeId::from_index(v)));
             }

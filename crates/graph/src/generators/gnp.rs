@@ -85,7 +85,10 @@ mod tests {
         let expected = p * (n * (n - 1) / 2) as f64;
         let got = g.edge_count() as f64;
         // Within 20% of expectation for this size; deterministic given seed.
-        assert!((got - expected).abs() < 0.2 * expected, "got {got}, expected {expected}");
+        assert!(
+            (got - expected).abs() < 0.2 * expected,
+            "got {got}, expected {expected}"
+        );
     }
 
     #[test]

@@ -228,10 +228,11 @@ mod tests {
 
     #[test]
     fn deg_plus_one_list_palettes_have_correct_sizes() {
-        let g = GraphFamily::PowerLaw { edges_per_node: 2 }.generate(50, 3).unwrap();
-        let inst =
-            instance_with_palettes(&g, PaletteKind::DegPlusOneList { universe: 10_000 }, 5)
-                .unwrap();
+        let g = GraphFamily::PowerLaw { edges_per_node: 2 }
+            .generate(50, 3)
+            .unwrap();
+        let inst = instance_with_palettes(&g, PaletteKind::DegPlusOneList { universe: 10_000 }, 5)
+            .unwrap();
         for v in g.nodes() {
             assert_eq!(inst.palette(v).size(), g.degree(v) + 1);
         }

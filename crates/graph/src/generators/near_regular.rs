@@ -52,7 +52,10 @@ mod tests {
         let g = near_regular(300, degree, 3).unwrap();
         assert!(g.max_degree() <= degree);
         let avg = g.degree_sum() as f64 / g.node_count() as f64;
-        assert!(avg > degree as f64 * 0.9, "average degree {avg} too far below {degree}");
+        assert!(
+            avg > degree as f64 * 0.9,
+            "average degree {avg} too far below {degree}"
+        );
     }
 
     #[test]
@@ -69,7 +72,10 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        assert_eq!(near_regular(50, 4, 1).unwrap(), near_regular(50, 4, 1).unwrap());
+        assert_eq!(
+            near_regular(50, 4, 1).unwrap(),
+            near_regular(50, 4, 1).unwrap()
+        );
     }
 
     #[test]

@@ -32,7 +32,9 @@ impl ListColoringInstance {
     /// constructors for uniform call sites.
     pub fn delta_plus_one(graph: &CsrGraph) -> Result<Self, GraphError> {
         let len = graph.max_degree() as u64 + 1;
-        let palettes = (0..graph.node_count()).map(|_| Palette::range(len)).collect();
+        let palettes = (0..graph.node_count())
+            .map(|_| Palette::range(len))
+            .collect();
         Self::from_palettes(graph.clone(), palettes)
     }
 
@@ -226,14 +228,26 @@ mod tests {
             Palette::explicit([Color(0), Color(1), Color(2)]),
         ];
         let err = ListColoringInstance::from_palettes(g, palettes).unwrap_err();
-        assert!(matches!(err, GraphError::PaletteTooSmall { node: NodeId(1), .. }));
+        assert!(matches!(
+            err,
+            GraphError::PaletteTooSmall {
+                node: NodeId(1),
+                ..
+            }
+        ));
     }
 
     #[test]
     fn from_palettes_rejects_count_mismatch() {
         let g = GraphBuilder::path(3).build();
         let err = ListColoringInstance::from_palettes(g, vec![Palette::range(2)]).unwrap_err();
-        assert!(matches!(err, GraphError::PaletteCountMismatch { palettes: 1, nodes: 3 }));
+        assert!(matches!(
+            err,
+            GraphError::PaletteCountMismatch {
+                palettes: 1,
+                nodes: 3
+            }
+        ));
     }
 
     #[test]
@@ -246,7 +260,9 @@ mod tests {
 
         let explicit = ListColoringInstance::from_palettes(
             g.clone(),
-            (0..4).map(|_| Palette::explicit((0..3).map(Color))).collect(),
+            (0..4)
+                .map(|_| Palette::explicit((0..3).map(Color)))
+                .collect(),
         )
         .unwrap();
         assert_eq!(explicit.total_palette_words(), 12);

@@ -124,7 +124,10 @@ impl Palette {
     /// The smallest available color not in `forbidden` (which must be
     /// sorted), if any. Used by the greedy local coloring step.
     pub fn first_available(&self, forbidden: &[Color]) -> Option<Color> {
-        debug_assert!(forbidden.windows(2).all(|w| w[0] <= w[1]), "forbidden must be sorted");
+        debug_assert!(
+            forbidden.windows(2).all(|w| w[0] <= w[1]),
+            "forbidden must be sorted"
+        );
         self.iter().find(|c| forbidden.binary_search(c).is_err())
     }
 

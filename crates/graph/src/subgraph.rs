@@ -160,7 +160,10 @@ mod tests {
             p.filtered(|c| c.0 < 2)
         });
         assert_eq!(sub.node_count(), 2);
-        assert_eq!(sub.instance.palette(NodeId(0)).to_vec(), vec![Color(0), Color(1)]);
+        assert_eq!(
+            sub.instance.palette(NodeId(0)).to_vec(),
+            vec![Color(0), Color(1)]
+        );
         assert_eq!(sub.to_global(NodeId(1)), NodeId(2));
         // Induced graph keeps the 0-2 edge of K4.
         assert_eq!(sub.instance.graph().edge_count(), 1);

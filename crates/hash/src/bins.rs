@@ -30,8 +30,10 @@ pub fn bin_size(range: u64, k: u64) -> u64 {
 pub fn bin_interval(range: u64, k: u64) -> (u64, u64) {
     assert!(k < range, "bin {k} out of range {range}");
     let lo = div_ceil_u128(u128::from(k) * u128::from(MERSENNE_61), u128::from(range)) as u64;
-    let hi =
-        div_ceil_u128(u128::from(k + 1) * u128::from(MERSENNE_61), u128::from(range)) as u64;
+    let hi = div_ceil_u128(
+        u128::from(k + 1) * u128::from(MERSENNE_61),
+        u128::from(range),
+    ) as u64;
     (lo, hi)
 }
 
@@ -168,7 +170,11 @@ mod tests {
                     let brute = (0..p)
                         .filter(|&z| bin_small(p, range, z) == bin_small(p, range, (z + d) % p))
                         .count() as u64;
-                    assert_eq!(same_bin_small(p, range, d), brute, "p={p} range={range} d={d}");
+                    assert_eq!(
+                        same_bin_small(p, range, d),
+                        brute,
+                        "p={p} range={range} d={d}"
+                    );
                 }
             }
         }

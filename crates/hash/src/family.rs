@@ -37,7 +37,10 @@ impl PolynomialHashFamily {
     pub fn new(independence: usize, domain: u64, range: u64) -> Self {
         assert!(independence >= 1, "independence must be at least 1");
         assert!(range >= 1, "range must be non-empty");
-        assert!(domain < MERSENNE_61, "domain must be smaller than the field modulus");
+        assert!(
+            domain < MERSENNE_61,
+            "domain must be smaller than the field modulus"
+        );
         PolynomialHashFamily {
             independence,
             domain,
@@ -88,7 +91,11 @@ impl PolynomialHashFamily {
     ///
     /// Panics (debug builds) if `x` is outside the domain.
     pub fn eval(&self, seed: &BitSeed, x: u64) -> u64 {
-        debug_assert!(x < self.domain.max(1), "input {x} outside domain {}", self.domain);
+        debug_assert!(
+            x < self.domain.max(1),
+            "input {x} outside domain {}",
+            self.domain
+        );
         let coefficients = self.coefficients(seed);
         self.eval_with_coefficients(&coefficients, x)
     }
@@ -199,7 +206,7 @@ mod tests {
     fn distribution_is_roughly_uniform() {
         let family = PolynomialHashFamily::new(4, 50_000, 16);
         let seed = random_seed(&family, 99);
-        let mut counts = vec![0usize; 16];
+        let mut counts = [0usize; 16];
         for x in 0..50_000 {
             counts[family.eval(&seed, x) as usize] += 1;
         }

@@ -36,6 +36,9 @@ impl Mersenne61 {
     }
 
     /// Field addition.
+    // Named `add`/`mul` (not the `ops` traits) so call sites read as field
+    // arithmetic and never pick up integer semantics by accident.
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn add(self, other: Mersenne61) -> Mersenne61 {
         let mut s = self.0 + other.0; // < 2^62, no overflow
@@ -46,6 +49,7 @@ impl Mersenne61 {
     }
 
     /// Field multiplication.
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn mul(self, other: Mersenne61) -> Mersenne61 {
         Mersenne61(reduce128(u128::from(self.0) * u128::from(other.0)))
@@ -88,7 +92,7 @@ fn reduce64(x: u64) -> u64 {
 #[inline]
 fn reduce128(x: u128) -> u64 {
     let low = (x as u64) & MERSENNE_61;
-    let high = (x >> 61) as u128;
+    let high = x >> 61;
     // `high` can be up to 2^67, reduce it recursively (one more level
     // suffices because 2^67 / 2^61 is tiny).
     let high_low = (high as u64) & MERSENNE_61;
@@ -150,7 +154,10 @@ mod tests {
         let coeffs = [Mersenne61::new(3), Mersenne61::new(2), Mersenne61::new(1)];
         assert_eq!(Mersenne61::horner(&coeffs, Mersenne61::new(5)).value(), 38);
         // Empty polynomial is zero.
-        assert_eq!(Mersenne61::horner(&[], Mersenne61::new(5)), Mersenne61::ZERO);
+        assert_eq!(
+            Mersenne61::horner(&[], Mersenne61::new(5)),
+            Mersenne61::ZERO
+        );
     }
 
     #[test]

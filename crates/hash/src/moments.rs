@@ -20,7 +20,10 @@
 ///
 /// Panics if `c < 4` or `c` is odd, or `lambda <= 0`.
 pub fn bellare_rompel_bound(c: u32, t: f64, lambda: f64) -> f64 {
-    assert!(c >= 4 && c % 2 == 0, "Lemma 2.2 requires an even c >= 4, got {c}");
+    assert!(
+        c >= 4 && c.is_multiple_of(2),
+        "Lemma 2.2 requires an even c >= 4, got {c}"
+    );
     assert!(lambda > 0.0, "deviation lambda must be positive");
     let base = (f64::from(c) * t) / (lambda * lambda);
     let bound = 2.0 * base.powf(f64::from(c) / 2.0);
@@ -66,7 +69,10 @@ mod tests {
         let lambda = 100.0;
         let a = bellare_rompel_bound(4, t, lambda);
         let b = bellare_rompel_bound(8, t, lambda);
-        assert!(b < a, "higher independence should tighten the bound ({a} vs {b})");
+        assert!(
+            b < a,
+            "higher independence should tighten the bound ({a} vs {b})"
+        );
     }
 
     #[test]
@@ -91,7 +97,7 @@ mod tests {
         let ell_huge = 1e40_f64;
         let c = independence_needed(ell_huge, ell_huge.powf(0.6), ell_huge.powf(-3.0), 64)
             .expect("for asymptotically large ℓ a constant c suffices");
-        assert!(c >= 4 && c <= 64);
+        assert!((4..=64).contains(&c));
     }
 
     #[test]

@@ -55,7 +55,11 @@ impl BitSeed {
     /// Panics if `i >= len()`.
     #[inline]
     pub fn bit(&self, i: usize) -> bool {
-        assert!(i < self.bits, "bit index {i} out of range for {} bits", self.bits);
+        assert!(
+            i < self.bits,
+            "bit index {i} out of range for {} bits",
+            self.bits
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -66,7 +70,11 @@ impl BitSeed {
     /// Panics if `i >= len()`.
     #[inline]
     pub fn set_bit(&mut self, i: usize, value: bool) {
-        assert!(i < self.bits, "bit index {i} out of range for {} bits", self.bits);
+        assert!(
+            i < self.bits,
+            "bit index {i} out of range for {} bits",
+            self.bits
+        );
         let word = &mut self.words[i / 64];
         let mask = 1u64 << (i % 64);
         if value {
@@ -122,7 +130,8 @@ impl BitSeed {
     pub fn canonical_completion(&self, prefix_bits: usize, salt: u64) -> BitSeed {
         let mut out = self.clone();
         // Mix the prefix into a 64-bit digest.
-        let mut digest = splitmix64(salt ^ (prefix_bits as u64).wrapping_mul(0xa076_1d64_78bd_642f));
+        let mut digest =
+            splitmix64(salt ^ (prefix_bits as u64).wrapping_mul(0xa076_1d64_78bd_642f));
         for (i, w) in self.words.iter().enumerate() {
             let masked = if (i + 1) * 64 <= prefix_bits {
                 *w
@@ -217,7 +226,7 @@ mod tests {
         // Reading across the end returns zero bits for the overhang.
         assert_eq!(s.chunk(95, 10), s.chunk(95, 5));
         // Writing across the end silently drops the overhang.
-        s.set_chunk(95, 10, u64::MAX & 0x3ff);
+        s.set_chunk(95, 10, 0x3ff);
         assert_eq!(s.chunk(95, 5), 0b11111);
     }
 

@@ -53,7 +53,8 @@ impl MisResult {
         self.in_set
             .iter()
             .enumerate()
-            .filter_map(|(i, &b)| b.then(|| cc_graph::NodeId::from_index(i)))
+            .filter(|&(_, &b)| b)
+            .map(|(i, _)| cc_graph::NodeId::from_index(i))
             .collect()
     }
 }
@@ -69,9 +70,6 @@ mod tests {
             phases: 2,
         };
         assert_eq!(r.size(), 2);
-        assert_eq!(
-            r.members(),
-            vec![cc_graph::NodeId(0), cc_graph::NodeId(2)]
-        );
+        assert_eq!(r.members(), vec![cc_graph::NodeId(0), cc_graph::NodeId(2)]);
     }
 }

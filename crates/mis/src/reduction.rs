@@ -113,15 +113,19 @@ impl ReductionGraph {
     /// in `in_set` (i.e. `in_set` is not maximal), or
     /// [`GraphError::AlreadyColored`] if it selects two vertices of one node
     /// (i.e. `in_set` is not independent).
-    pub fn write_coloring(&self, in_set: &[bool], coloring: &mut Coloring) -> Result<(), GraphError> {
+    pub fn write_coloring(
+        &self,
+        in_set: &[bool],
+        coloring: &mut Coloring,
+    ) -> Result<(), GraphError> {
         let node_count = self.clique_offsets.len() - 1;
         for v in 0..node_count {
             let node = NodeId::from_index(v);
             let start = self.clique_offsets[v];
             let end = self.clique_offsets[v + 1];
             let mut chosen: Option<Color> = None;
-            for x in start..end {
-                if in_set[x] {
+            for (x, &selected) in in_set.iter().enumerate().take(end).skip(start) {
+                if selected {
                     if chosen.is_some() {
                         return Err(GraphError::AlreadyColored { node });
                     }
@@ -188,8 +192,8 @@ mod tests {
     #[test]
     fn mis_of_reduction_respects_arbitrary_list_palettes() {
         let g = generators::gnp(30, 0.2, 7).unwrap();
-        let inst = instance_with_palettes(&g, PaletteKind::DeltaPlusOneList { universe: 500 }, 3)
-            .unwrap();
+        let inst =
+            instance_with_palettes(&g, PaletteKind::DeltaPlusOneList { universe: 500 }, 3).unwrap();
         let red = ReductionGraph::build(&inst);
         let mis = greedy_mis(red.graph());
         let mut coloring = Coloring::empty(g.node_count());

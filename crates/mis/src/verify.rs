@@ -34,7 +34,10 @@ impl std::fmt::Display for MisError {
                 write!(f, "adjacent nodes {u} and {v} are both in the set")
             }
             MisError::NotMaximal { node } => {
-                write!(f, "node {node} is outside the set but has no neighbor inside")
+                write!(
+                    f,
+                    "node {node} is outside the set but has no neighbor inside"
+                )
             }
             MisError::WrongLength { got, expected } => {
                 write!(f, "membership vector has length {got}, expected {expected}")
@@ -120,7 +123,10 @@ mod tests {
         let g = GraphBuilder::path(3).build();
         assert!(matches!(
             verify_mis(&g, &[true]),
-            Err(MisError::WrongLength { got: 1, expected: 3 })
+            Err(MisError::WrongLength {
+                got: 1,
+                expected: 3
+            })
         ));
     }
 

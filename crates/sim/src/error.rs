@@ -93,7 +93,10 @@ mod tests {
     fn violation_display_mentions_label_and_numbers() {
         let v = Violation {
             label: "partition".to_string(),
-            kind: ViolationKind::LocalSpaceExceeded { words: 100, limit: 50 },
+            kind: ViolationKind::LocalSpaceExceeded {
+                words: 100,
+                limit: 50,
+            },
         };
         let msg = v.to_string();
         assert!(msg.contains("partition"));

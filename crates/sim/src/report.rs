@@ -127,7 +127,10 @@ mod tests {
         let mut r = sample();
         r.violations.push(Violation {
             label: "x".into(),
-            kind: ViolationKind::BandwidthExceeded { words: 10, limit: 5 },
+            kind: ViolationKind::BandwidthExceeded {
+                words: 10,
+                limit: 5,
+            },
         });
         assert!(!r.within_limits());
         let s = r.to_string();

@@ -11,8 +11,8 @@
 
 use congested_clique_coloring::coloring::baselines::greedy::SequentialGreedy;
 use congested_clique_coloring::coloring::baselines::mis_reduction::MisReductionColoring;
-use congested_clique_coloring::coloring::baselines::trial::RandomizedTrialColoring;
 use congested_clique_coloring::coloring::baselines::randomized_color_reduce;
+use congested_clique_coloring::coloring::baselines::trial::RandomizedTrialColoring;
 use congested_clique_coloring::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -54,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let derand = ColorReduce::new(ColorReduceConfig::default()).run(&instance, model.clone())?;
     derand.coloring().verify(&instance)?;
-    rows.push(row("ColorReduce (deterministic, this paper)", true, derand.report()));
+    rows.push(row(
+        "ColorReduce (deterministic, this paper)",
+        true,
+        derand.report(),
+    ));
 
     let random = randomized_color_reduce(&instance, model.clone(), 7)?;
     random.coloring().verify(&instance)?;
@@ -88,6 +92,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if r.within_limits { "yes" } else { "NO" }
         );
     }
-    println!("\nEvery algorithm produced a verified proper coloring; they differ in the model cost.");
+    println!(
+        "\nEvery algorithm produced a verified proper coloring; they differ in the model cost."
+    );
     Ok(())
 }

@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 5. The recursion trace shows how the instance shrank level by level
     //    (Lemmas 3.11–3.14).
     println!("\nrecursion trace:");
-    println!("{:>6} {:>7} {:>10} {:>8} {:>12} {:>10}", "depth", "calls", "max nodes", "max ℓ", "max size(w)", "collected");
+    println!(
+        "{:>6} {:>7} {:>10} {:>8} {:>12} {:>10}",
+        "depth", "calls", "max nodes", "max ℓ", "max size(w)", "collected"
+    );
     for row in outcome.trace().depth_summary() {
         println!(
             "{:>6} {:>7} {:>10} {:>8} {:>12} {:>10}",

@@ -28,13 +28,8 @@ pub use clique_coloring as coloring;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use cc_graph::{
-        coloring::Coloring,
-        csr::CsrGraph,
-        builder::GraphBuilder,
-        generators,
-        instance::ListColoringInstance,
-        palette::Palette,
-        Color, NodeId,
+        builder::GraphBuilder, coloring::Coloring, csr::CsrGraph, generators,
+        instance::ListColoringInstance, palette::Palette, Color, NodeId,
     };
     pub use cc_sim::{model::ExecutionModel, report::ExecutionReport};
     pub use clique_coloring::{

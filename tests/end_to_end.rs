@@ -1,6 +1,7 @@
 //! Integration tests spanning the whole workspace: generators → simulator →
 //! derandomized coloring → verification.
 
+use cc_graph::generators::{instance_with_palettes, GraphFamily, PaletteKind};
 use congested_clique_coloring::coloring::baselines::{
     greedy::SequentialGreedy, mis_reduction::MisReductionColoring, randomized_color_reduce,
     trial::RandomizedTrialColoring,
@@ -8,7 +9,6 @@ use congested_clique_coloring::coloring::baselines::{
 use congested_clique_coloring::coloring::config::SeedStrategy;
 use congested_clique_coloring::coloring::low_space::LowSpaceConfig;
 use congested_clique_coloring::prelude::*;
-use cc_graph::generators::{instance_with_palettes, GraphFamily, PaletteKind};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -52,7 +52,10 @@ fn color_reduce_handles_every_family_and_palette_kind() {
         ] {
             let instance = instance_with_palettes(&graph, kind, 5).unwrap();
             let outcome = ColorReduce::new(fast_config())
-                .run(&instance, ExecutionModel::congested_clique(graph.node_count()))
+                .run(
+                    &instance,
+                    ExecutionModel::congested_clique(graph.node_count()),
+                )
                 .unwrap_or_else(|e| panic!("{label}: {e}"));
             outcome
                 .coloring()
@@ -68,7 +71,9 @@ fn rounds_do_not_grow_with_n_at_fixed_degree() {
     // count is independent of n.
     let mut rounds = Vec::new();
     for &n in &[300usize, 600, 1200] {
-        let graph = GraphFamily::NearRegular { degree: 16 }.generate(n, 3).unwrap();
+        let graph = GraphFamily::NearRegular { degree: 16 }
+            .generate(n, 3)
+            .unwrap();
         let instance = ListColoringInstance::delta_plus_one(&graph).unwrap();
         let outcome = ColorReduce::new(fast_config())
             .run(&instance, ExecutionModel::congested_clique(n))
@@ -89,11 +94,18 @@ fn deterministic_algorithm_is_bit_identical_across_runs() {
     let graph = GraphFamily::Gnp { p: 0.25 }.generate(250, 9).unwrap();
     let instance = ListColoringInstance::delta_plus_one(&graph).unwrap();
     let model = ExecutionModel::congested_clique(250);
-    let a = ColorReduce::new(fast_config()).run(&instance, model.clone()).unwrap();
-    let b = ColorReduce::new(fast_config()).run(&instance, model).unwrap();
+    let a = ColorReduce::new(fast_config())
+        .run(&instance, model.clone())
+        .unwrap();
+    let b = ColorReduce::new(fast_config())
+        .run(&instance, model)
+        .unwrap();
     assert_eq!(a.coloring(), b.coloring());
     assert_eq!(a.rounds(), b.rounds());
-    assert_eq!(a.report().communication_words, b.report().communication_words);
+    assert_eq!(
+        a.report().communication_words,
+        b.report().communication_words
+    );
     assert_eq!(a.trace(), b.trace());
 }
 
@@ -104,13 +116,17 @@ fn every_baseline_agrees_on_validity() {
     let model = ExecutionModel::congested_clique(150);
     let mut rng = ChaCha8Rng::seed_from_u64(4);
 
-    let derand = ColorReduce::new(fast_config()).run(&instance, model.clone()).unwrap();
+    let derand = ColorReduce::new(fast_config())
+        .run(&instance, model.clone())
+        .unwrap();
     derand.coloring().verify(&instance).unwrap();
 
     let random = randomized_color_reduce(&instance, model.clone(), 3).unwrap();
     random.coloring().verify(&instance).unwrap();
 
-    let mis = MisReductionColoring::default().run(&instance, model.clone()).unwrap();
+    let mis = MisReductionColoring::default()
+        .run(&instance, model.clone())
+        .unwrap();
     mis.coloring.verify(&instance).unwrap();
 
     let trial = RandomizedTrialColoring::default()
@@ -124,7 +140,9 @@ fn every_baseline_agrees_on_validity() {
 
 #[test]
 fn low_space_and_linear_space_agree_on_validity() {
-    let graph = GraphFamily::PowerLaw { edges_per_node: 4 }.generate(200, 8).unwrap();
+    let graph = GraphFamily::PowerLaw { edges_per_node: 4 }
+        .generate(200, 8)
+        .unwrap();
     let instance = ListColoringInstance::deg_plus_one(&graph).unwrap();
 
     let linear = ColorReduce::new(fast_config())
@@ -134,7 +152,9 @@ fn low_space_and_linear_space_agree_on_validity() {
 
     let config = LowSpaceConfig::scaled_down(0.5);
     let model = ExecutionModel::mpc_low_space(200, config.epsilon, instance.size_words() * 8);
-    let low = LowSpaceColorReduce::new(config).run(&instance, model).unwrap();
+    let low = LowSpaceColorReduce::new(config)
+        .run(&instance, model)
+        .unwrap();
     low.coloring.verify(&instance).unwrap();
 }
 
@@ -186,8 +206,12 @@ fn explicit_and_implicit_palettes_give_equivalent_colorings_for_delta_plus_one()
         .collect();
     let explicit = ListColoringInstance::from_palettes(graph.clone(), explicit_palettes).unwrap();
     let model = ExecutionModel::congested_clique(180);
-    let a = ColorReduce::new(fast_config()).run(&implicit, model.clone()).unwrap();
-    let b = ColorReduce::new(fast_config()).run(&explicit, model).unwrap();
+    let a = ColorReduce::new(fast_config())
+        .run(&implicit, model.clone())
+        .unwrap();
+    let b = ColorReduce::new(fast_config())
+        .run(&explicit, model)
+        .unwrap();
     a.coloring().verify(&implicit).unwrap();
     b.coloring().verify(&explicit).unwrap();
     let palette_size = graph.max_degree() + 1;

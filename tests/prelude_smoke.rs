@@ -1,0 +1,69 @@
+//! Compile-time smoke test: every item the umbrella crate advertises — the
+//! `prelude` contents and the top-level crate re-exports — must stay
+//! importable and usable. If a workspace crate renames or drops an item,
+//! this test fails to compile rather than silently breaking downstream
+//! users of `congested_clique_coloring`.
+
+// Every advertised prelude item, imported by name (not via glob) so a
+// removal is a compile error even if another crate re-adds the name.
+#[allow(unused_imports)]
+use congested_clique_coloring::prelude::{
+    baselines, generators, Color, ColorReduce, ColorReduceConfig, ColorReduceOutcome, Coloring,
+    CsrGraph, ExecutionModel, ExecutionReport, GraphBuilder, ListColoringInstance,
+    LowSpaceColorReduce, LowSpaceConfig, NodeId, Palette,
+};
+
+// The top-level crate-alias re-exports.
+#[allow(unused_imports)]
+use congested_clique_coloring::{coloring, derand, graph, hash, mis, sim};
+
+#[test]
+fn prelude_types_are_the_workspace_types() {
+    // Identity checks: the prelude names must refer to the same types the
+    // workspace crates export, not shadowing copies.
+    fn same<T>(_: &T, _: &T) {}
+
+    let node = NodeId(3);
+    same(&node, &cc_graph::NodeId(3));
+    let color = Color(7);
+    same(&color, &cc_graph::Color(7));
+    let model = ExecutionModel::congested_clique(8);
+    same(&model, &cc_sim::ExecutionModel::congested_clique(8));
+    let config = ColorReduceConfig::default();
+    same(&config, &clique_coloring::ColorReduceConfig::default());
+}
+
+#[test]
+fn prelude_supports_the_advertised_workflow() {
+    // The README / crate-docs workflow, spelled entirely in prelude names.
+    let graph = GraphBuilder::cycle(8).build();
+    let instance = ListColoringInstance::delta_plus_one(&graph).expect("valid instance");
+    let outcome: ColorReduceOutcome = ColorReduce::new(ColorReduceConfig::default())
+        .run(
+            &instance,
+            ExecutionModel::congested_clique(graph.node_count()),
+        )
+        .expect("cycle colors in constant rounds");
+    outcome
+        .coloring()
+        .verify(&instance)
+        .expect("proper coloring");
+    let report: &ExecutionReport = outcome.report();
+    assert!(report.within_limits());
+
+    // Remaining advertised items, exercised lightly.
+    let generated: CsrGraph = generators::gnp(20, 0.2, 1).expect("generator works");
+    let _ = baselines::greedy::SequentialGreedy;
+    let low_space_instance = ListColoringInstance::deg_plus_one(&generated).expect("valid");
+    let low = LowSpaceColorReduce::new(LowSpaceConfig::default())
+        .run(
+            &low_space_instance,
+            ExecutionModel::mpc_low_space(20, 0.5, low_space_instance.size_words() * 8),
+        )
+        .expect("low-space variant colors the instance");
+    low.coloring.verify(&low_space_instance).expect("proper");
+    let palette: &Palette = low_space_instance.palette(NodeId(0));
+    assert!(!palette.is_empty());
+    let empty = Coloring::empty(4);
+    assert!(!empty.is_complete());
+}

@@ -1,12 +1,12 @@
 //! Property-based tests (proptest) for the core invariants.
 
-use congested_clique_coloring::coloring::config::SeedStrategy;
-use congested_clique_coloring::prelude::*;
 use cc_graph::csr::CsrGraph;
 use cc_hash::{BitSeed, PolynomialHashFamily};
 use cc_mis::greedy::greedy_mis;
 use cc_mis::reduction::ReductionGraph;
 use cc_mis::verify::verify_mis;
+use congested_clique_coloring::coloring::config::SeedStrategy;
+use congested_clique_coloring::prelude::*;
 use proptest::prelude::*;
 
 fn fast_config() -> ColorReduceConfig {

@@ -1,0 +1,259 @@
+//! Offline, vendored micro-benchmark harness exposing the subset of the
+//! `criterion` API this workspace's benches use.
+//!
+//! The build environment has no crates.io access, so this crate stands in
+//! for `criterion`: same macros ([`criterion_group!`], [`criterion_main!`]),
+//! same types ([`Criterion`], [`BenchmarkId`], [`Bencher`]), but a much
+//! simpler measurement loop — a warm-up pass followed by `sample_size` timed
+//! samples, reporting min/mean/max to stdout. There is no statistical
+//! analysis, HTML report, or baseline comparison; the numbers are honest
+//! wall-clock measurements suitable for spotting order-of-magnitude
+//! regressions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing away a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.name.fmt(f)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, once per sample, after one warm-up call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(label: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    let min = samples.iter().min().expect("non-empty");
+    let max = samples.iter().max().expect("non-empty");
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{label:<40} min {min:>12.3?}   mean {mean:>12.3?}   max {max:>12.3?}   ({} samples)",
+        samples.len()
+    );
+}
+
+/// Throughput annotation. Accepted for API compatibility; recorded but only
+/// echoed in the report label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+    /// Number of elements processed per iteration.
+    Elements(u64),
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, size: usize) -> &mut Self {
+        self.sample_size = size.max(1);
+        self
+    }
+
+    /// Sets the throughput annotation (no-op beyond API compatibility).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id.into()), &bencher.samples);
+        let _ = &self.criterion;
+        self
+    }
+
+    /// Runs a benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher);
+        report(&format!("{}/{}", self.name, id.into()), &bencher.samples);
+        self
+    }
+
+    /// Finishes the group (separator line in the report).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The benchmark manager: entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, size: usize) -> Self {
+        self.sample_size = size.max(1);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher);
+        report(&id.into().to_string(), &bencher.samples);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring `criterion`'s macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $function(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::new("eval", 16).to_string(), "eval/16");
+        assert_eq!(BenchmarkId::from_parameter("n300").to_string(), "n300");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(3);
+        let mut total = 0u64;
+        group.bench_function("sum", |b| {
+            b.iter(|| {
+                total = (0..100u64).sum();
+                total
+            })
+        });
+        group.finish();
+        assert_eq!(total, 4950);
+    }
+}
