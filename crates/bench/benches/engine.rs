@@ -1,0 +1,67 @@
+//! Criterion microbenchmark: centralized accounting simulator vs the
+//! `cc-runtime` message-passing engine at 1 and 4 worker threads, for the
+//! trial coloring and Luby MIS.
+
+use cc_graph::generators;
+use cc_graph::instance::ListColoringInstance;
+use cc_mis::engine::EngineLubyMis;
+use cc_mis::luby::LubyMis;
+use cc_sim::{ClusterContext, ExecutionModel};
+use clique_coloring::baselines::engine_trial::EngineTrialColoring;
+use clique_coloring::baselines::trial::RandomizedTrialColoring;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_backends(c: &mut Criterion) {
+    let n = 600;
+    let graph = generators::gnp(n, 16.0 / n as f64, 7).unwrap();
+    let instance = ListColoringInstance::delta_plus_one(&graph).unwrap();
+    let model = ExecutionModel::congested_clique(n);
+
+    let mut group = c.benchmark_group("trial_coloring_backends");
+    group.sample_size(10);
+    group.bench_function("centralized_sim", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(13);
+            RandomizedTrialColoring::default()
+                .run(&instance, model.clone(), &mut rng)
+                .unwrap()
+                .report
+                .rounds
+        })
+    });
+    for threads in [1usize, 4] {
+        group.bench_function(format!("engine_t{threads}"), |b| {
+            let runner = EngineTrialColoring {
+                threads,
+                ..EngineTrialColoring::default()
+            };
+            b.iter(|| runner.run(&instance, model.clone()).unwrap().engine_rounds)
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("luby_mis_backends");
+    group.sample_size(10);
+    group.bench_function("centralized_sim", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(29);
+            let mut ctx = ClusterContext::new(model.clone());
+            LubyMis::default().run(&mut ctx, &graph, &mut rng).size()
+        })
+    });
+    for threads in [1usize, 4] {
+        group.bench_function(format!("engine_t{threads}"), |b| {
+            let runner = EngineLubyMis {
+                threads,
+                ..EngineLubyMis::default()
+            };
+            b.iter(|| runner.run(&graph, model.clone()).unwrap().result.size())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

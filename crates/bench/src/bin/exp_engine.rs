@@ -1,0 +1,32 @@
+//! Regenerates the E9 backend-comparison table. Pass --quick for a fast,
+//! smaller-scale run; `--threads 1,4` to bench specific worker counts;
+//! `--dump PATH` to write engine outputs + ledger digests for a CI
+//! determinism diff.
+
+use std::path::PathBuf;
+
+fn main() {
+    let scale = cc_bench::Scale::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let mut threads: Vec<usize> = cc_bench::experiments::e9_engine::DEFAULT_THREADS.to_vec();
+    let mut dump: Option<PathBuf> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                let list = args.get(i + 1).expect("--threads needs a value, e.g. 1,4");
+                threads = list
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--threads takes integers"))
+                    .collect();
+                i += 2;
+            }
+            "--dump" => {
+                dump = Some(PathBuf::from(args.get(i + 1).expect("--dump needs a path")));
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    cc_bench::experiments::e9_engine::run_with(scale, &threads, dump.as_deref());
+}

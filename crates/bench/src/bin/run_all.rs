@@ -1,4 +1,4 @@
-//! Runs every experiment (E1–E8) in sequence. Pass --quick for a fast run.
+//! Runs every experiment (E1–E9) in sequence. Pass --quick for a fast run.
 
 fn main() {
     let scale = cc_bench::Scale::from_args();
@@ -11,4 +11,5 @@ fn main() {
     cc_bench::experiments::e6_correctness::run(scale);
     cc_bench::experiments::e7_comparison::run(scale);
     cc_bench::experiments::e8_ablation::run(scale);
+    cc_bench::experiments::e9_engine::run(scale);
 }

@@ -1,0 +1,281 @@
+//! E9 — centralized accounting simulator vs the `cc-runtime` message-passing
+//! engine.
+//!
+//! For the trial coloring and Luby MIS, this measures wall-clock time of the
+//! centralized implementation against the engine at several worker-thread
+//! counts, across graph sizes. Model-accounting columns (rounds, words,
+//! in-model) come from the same [`cc_sim::ExecutionReport`] machinery for
+//! both backends. The experiment also *enforces* the engine's determinism
+//! guarantee in-process: the outputs and message-ledger digests of every
+//! thread count must be identical, and `run_with` can dump them to a file so
+//! CI can diff two independent processes.
+
+use std::io::Write;
+use std::path::Path;
+use std::time::Instant;
+
+use cc_mis::engine::EngineLubyMis;
+use cc_mis::luby::LubyMis;
+use cc_sim::{ClusterContext, ExecutionModel};
+use clique_coloring::baselines::engine_trial::EngineTrialColoring;
+use clique_coloring::baselines::trial::RandomizedTrialColoring;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::records::{write_json, RunRecord};
+use crate::table::Table;
+use crate::Scale;
+
+use super::graph_stats;
+use cc_graph::generators;
+use cc_graph::instance::ListColoringInstance;
+
+/// The thread counts benched by default.
+pub const DEFAULT_THREADS: &[usize] = &[1, 2, 4];
+
+/// Runs the experiment with the default thread sweep.
+pub fn run(scale: Scale) {
+    run_with(scale, DEFAULT_THREADS, None);
+}
+
+/// Runs the experiment for the given worker-thread counts, optionally
+/// dumping every engine output and ledger digest to `dump` (one line per
+/// fact, sorted) so two separate runs can be diffed byte-for-byte.
+///
+/// # Panics
+///
+/// Panics if the engine produces different results or ledgers for different
+/// thread counts — the determinism guarantee is part of what this
+/// experiment verifies.
+pub fn run_with(scale: Scale, threads: &[usize], dump: Option<&Path>) {
+    let sizes = match scale {
+        Scale::Quick => vec![200, 400],
+        Scale::Full => vec![400, 1600, 3000],
+    };
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "E9 host parallelism: {host_cpus} CPU(s). The engine's step phase is \
+         parallel and its merge phase is O(chunks*n); multi-thread wall-clock \
+         gains require host_cpus > 1 — on a single-CPU host, thread counts \
+         only time-share and the speedup column stays flat."
+    );
+    let mut table = Table::new([
+        "instance",
+        "algorithm",
+        "backend",
+        "threads",
+        "rounds",
+        "words",
+        "wall (ms)",
+        "speedup",
+        "in-model",
+    ]);
+    let mut records = Vec::new();
+    let mut dump_lines: Vec<String> = Vec::new();
+    for n in sizes {
+        // Average degree ~16: sparse enough that the centralized loop and
+        // the engine run the same O(log n) phase count, dense enough that
+        // messages dominate.
+        let p = (16.0 / n as f64).min(0.5);
+        let graph = generators::gnp(n, p, 77).expect("E9 graph");
+        let instance = ListColoringInstance::delta_plus_one(&graph).expect("E9 instance");
+        let stats = graph_stats(&instance);
+        let label = format!("gnp-{n}");
+        let model = ExecutionModel::congested_clique(n);
+
+        // --- Trial coloring: centralized reference. ---
+        let start = Instant::now();
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let central = RandomizedTrialColoring::default()
+            .run(&instance, model.clone(), &mut rng)
+            .expect("E9 centralized trial");
+        let central_ms = start.elapsed().as_secs_f64() * 1e3;
+        central.coloring.verify(&instance).expect("E9 verify");
+        table.row([
+            label.clone(),
+            "trial-coloring".into(),
+            "centralized-sim".into(),
+            "-".into(),
+            central.report.rounds.to_string(),
+            central.report.communication_words.to_string(),
+            format!("{central_ms:.1}"),
+            "1.00".into(),
+            yes_no(central.report.within_limits()),
+        ]);
+        records.push(
+            RunRecord::from_report(
+                "E9",
+                &label,
+                "trial-coloring/centralized",
+                stats,
+                &central.report,
+            )
+            .with_extra("wall_ms", central_ms)
+            .with_extra("speedup_vs_centralized", 1.0),
+        );
+
+        // --- Trial coloring: engine at each thread count. ---
+        let mut reference: Option<clique_coloring::baselines::engine_trial::EngineTrialOutcome> =
+            None;
+        for &t in threads {
+            let runner = EngineTrialColoring {
+                threads: t,
+                ..EngineTrialColoring::default()
+            };
+            let start = Instant::now();
+            let out = runner
+                .run(&instance, model.clone())
+                .expect("E9 engine trial");
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            out.outcome.coloring.verify(&instance).expect("E9 verify");
+            if let Some(reference) = &reference {
+                assert_eq!(
+                    reference.outcome.coloring, out.outcome.coloring,
+                    "engine trial coloring differs between thread counts"
+                );
+                assert_eq!(
+                    reference.ledger, out.ledger,
+                    "engine trial ledger differs between thread counts"
+                );
+            }
+            table.row([
+                label.clone(),
+                "trial-coloring".into(),
+                "engine".into(),
+                t.to_string(),
+                out.outcome.report.rounds.to_string(),
+                out.outcome.report.communication_words.to_string(),
+                format!("{ms:.1}"),
+                format!("{:.2}", central_ms / ms),
+                yes_no(out.outcome.report.within_limits()),
+            ]);
+            records.push(
+                RunRecord::from_report(
+                    "E9",
+                    &label,
+                    &format!("trial-coloring/engine-t{t}"),
+                    stats,
+                    &out.outcome.report,
+                )
+                .with_extra("threads", t as f64)
+                .with_extra("host_cpus", host_cpus as f64)
+                .with_extra("wall_ms", ms)
+                .with_extra("speedup_vs_centralized", central_ms / ms)
+                .with_extra(
+                    "ns_per_message",
+                    ms * 1e6 / out.ledger.total_messages().max(1) as f64,
+                )
+                .with_extra("engine_rounds", out.engine_rounds as f64),
+            );
+            if reference.is_none() {
+                dump_lines.push(format!("trial n={n} digest={:016x}", out.ledger.digest()));
+                for (v, c) in out.outcome.coloring.assignments() {
+                    dump_lines.push(format!("trial n={n} {v}={c}"));
+                }
+                reference = Some(out);
+            }
+        }
+
+        // --- Luby MIS: centralized reference. ---
+        let start = Instant::now();
+        let mut rng = ChaCha8Rng::seed_from_u64(29);
+        let mut ctx = ClusterContext::new(model.clone());
+        let central_mis = LubyMis::default().run(&mut ctx, &graph, &mut rng);
+        let central_mis_ms = start.elapsed().as_secs_f64() * 1e3;
+        let central_report = ctx.report();
+        cc_mis::verify::verify_mis(&graph, &central_mis.in_set).expect("E9 mis verify");
+        table.row([
+            label.clone(),
+            "luby-mis".into(),
+            "centralized-sim".into(),
+            "-".into(),
+            central_report.rounds.to_string(),
+            central_report.communication_words.to_string(),
+            format!("{central_mis_ms:.1}"),
+            "1.00".into(),
+            yes_no(central_report.within_limits()),
+        ]);
+        records.push(
+            RunRecord::from_report("E9", &label, "luby-mis/centralized", stats, &central_report)
+                .with_extra("wall_ms", central_mis_ms)
+                .with_extra("speedup_vs_centralized", 1.0)
+                .with_extra("phases", central_mis.phases as f64),
+        );
+
+        // --- Luby MIS: engine at each thread count. ---
+        let mut mis_reference: Option<cc_mis::engine::EngineMisOutcome> = None;
+        for &t in threads {
+            let runner = EngineLubyMis {
+                threads: t,
+                ..EngineLubyMis::default()
+            };
+            let start = Instant::now();
+            let out = runner.run(&graph, model.clone()).expect("E9 engine luby");
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            cc_mis::verify::verify_mis(&graph, &out.result.in_set).expect("E9 mis verify");
+            if let Some(reference) = &mis_reference {
+                assert_eq!(
+                    reference.result, out.result,
+                    "engine MIS differs between thread counts"
+                );
+                assert_eq!(
+                    reference.ledger, out.ledger,
+                    "engine MIS ledger differs between thread counts"
+                );
+            }
+            table.row([
+                label.clone(),
+                "luby-mis".into(),
+                "engine".into(),
+                t.to_string(),
+                out.report.rounds.to_string(),
+                out.report.communication_words.to_string(),
+                format!("{ms:.1}"),
+                format!("{:.2}", central_mis_ms / ms),
+                yes_no(out.report.within_limits()),
+            ]);
+            records.push(
+                RunRecord::from_report(
+                    "E9",
+                    &label,
+                    &format!("luby-mis/engine-t{t}"),
+                    stats,
+                    &out.report,
+                )
+                .with_extra("threads", t as f64)
+                .with_extra("host_cpus", host_cpus as f64)
+                .with_extra("wall_ms", ms)
+                .with_extra("speedup_vs_centralized", central_mis_ms / ms)
+                .with_extra(
+                    "ns_per_message",
+                    ms * 1e6 / out.ledger.total_messages().max(1) as f64,
+                )
+                .with_extra("phases", out.result.phases as f64),
+            );
+            if mis_reference.is_none() {
+                dump_lines.push(format!("luby n={n} digest={:016x}", out.ledger.digest()));
+                for (v, &in_set) in out.result.in_set.iter().enumerate() {
+                    dump_lines.push(format!("luby n={n} v{v}={}", u8::from(in_set)));
+                }
+                mis_reference = Some(out);
+            }
+        }
+    }
+    table.print("E9  execution backends: centralized accounting simulator vs cc-runtime engine");
+    write_json("e9_engine", &records);
+    if let Some(path) = dump {
+        match std::fs::File::create(path) {
+            Ok(mut f) => {
+                for line in &dump_lines {
+                    writeln!(f, "{line}").expect("E9 dump write");
+                }
+                println!("wrote determinism dump to {}", path.display());
+            }
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn yes_no(b: bool) -> String {
+    if b { "yes" } else { "NO" }.to_string()
+}

@@ -1,4 +1,4 @@
-//! The experiments (E1–E8). Each submodule prints the table recorded in
+//! The experiments (E1–E9). Each submodule prints the table recorded in
 //! `EXPERIMENTS.md` and dumps a JSON copy under `target/experiments/`.
 
 pub mod e1_rounds;
@@ -9,6 +9,7 @@ pub mod e5_low_space;
 pub mod e6_correctness;
 pub mod e7_comparison;
 pub mod e8_ablation;
+pub mod e9_engine;
 
 use cc_graph::instance::ListColoringInstance;
 use cc_sim::ExecutionModel;

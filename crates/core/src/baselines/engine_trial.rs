@@ -1,0 +1,188 @@
+//! The randomized trial coloring executed on the `cc-runtime` engine.
+//!
+//! Functionally this produces the same kind of result as
+//! [`super::trial::RandomizedTrialColoring`] — a proper list coloring plus
+//! an [`cc_sim::ExecutionReport`] — but instead of a centralized loop that
+//! *charges* rounds, every node runs as an independent
+//! [`cc_runtime::NodeProgram`] exchanging real messages, with budgets
+//! checked at delivery time and step functions running in parallel. The
+//! returned [`cc_runtime::MessageLedger`] is the determinism witness:
+//! identical seeds give identical ledgers for any thread count.
+
+use cc_graph::coloring::Coloring;
+use cc_graph::instance::ListColoringInstance;
+use cc_graph::{Color, NodeId};
+use cc_runtime::programs::trial::TrialColoringProgram;
+use cc_runtime::{Engine, EngineConfig, MessageLedger, NodeProgram};
+use cc_sim::ExecutionModel;
+
+use crate::error::CoreError;
+use crate::local_color::color_greedily;
+
+use super::{outcome, BaselineOutcome};
+
+/// Trial coloring on the message-passing engine.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineTrialColoring {
+    /// Worker threads stepping nodes each round.
+    pub threads: usize,
+    /// Seed for the per-node randomness (an execution is fully determined
+    /// by it).
+    pub seed: u64,
+    /// Engine round cap; leftovers are colored greedily, mirroring the
+    /// centralized baseline's safety valve.
+    pub max_rounds: u64,
+}
+
+impl Default for EngineTrialColoring {
+    fn default() -> Self {
+        EngineTrialColoring {
+            threads: 1,
+            seed: 0x5eed,
+            max_rounds: 2_000,
+        }
+    }
+}
+
+/// A baseline outcome plus the engine's determinism ledger.
+#[must_use = "the outcome carries the coloring, report, and determinism ledger"]
+#[derive(Debug, Clone)]
+pub struct EngineTrialOutcome {
+    /// The coloring and execution report, shaped like every other baseline.
+    pub outcome: BaselineOutcome,
+    /// The engine's message ledger (digest + per-round loads).
+    pub ledger: MessageLedger,
+    /// Engine rounds executed (including communication-free ones).
+    pub engine_rounds: u64,
+}
+
+impl EngineTrialColoring {
+    /// Runs the baseline on the engine.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the instance is invalid or (for leftover nodes after the
+    /// round cap) greedy completion fails.
+    pub fn run(
+        &self,
+        instance: &ListColoringInstance,
+        model: ExecutionModel,
+    ) -> Result<EngineTrialOutcome, CoreError> {
+        instance.validate()?;
+        let graph = instance.graph();
+        let n = graph.node_count();
+        let programs: Vec<Box<dyn NodeProgram<Output = Option<u64>>>> = graph
+            .nodes()
+            .map(|v| {
+                let neighbors: Vec<u32> = graph.neighbor_slice(v).iter().map(|u| u.0).collect();
+                let palette: Vec<u64> = instance.palette(v).iter().map(Color::value).collect();
+                Box::new(TrialColoringProgram::new(
+                    v.0, neighbors, palette, self.seed,
+                )) as _
+            })
+            .collect();
+        let engine = Engine::new(EngineConfig {
+            threads: self.threads,
+            max_rounds: self.max_rounds,
+            label: "engine-trial".to_string(),
+            ..EngineConfig::default()
+        });
+        let run = engine.run(model, programs)?;
+        let mut coloring = Coloring::empty(n);
+        let mut uncolored = Vec::new();
+        for (i, output) in run.outputs.iter().enumerate() {
+            let v = NodeId::from_index(i);
+            match output {
+                Some(c) => coloring.assign(v, Color(*c))?,
+                None => uncolored.push(v),
+            }
+        }
+        if !uncolored.is_empty() {
+            // Round cap hit: finish deterministically, as the centralized
+            // baseline does, against palettes pruned of neighbor colors.
+            let mut palettes = instance.palettes().to_vec();
+            for &v in &uncolored {
+                for u in graph.neighbors(v) {
+                    if let Some(c) = coloring.color_of(u) {
+                        palettes[v.index()].remove(c);
+                    }
+                }
+            }
+            color_greedily(graph, &palettes, &mut coloring, &uncolored)?;
+        }
+        Ok(EngineTrialOutcome {
+            outcome: outcome("engine-trial", coloring, run.report),
+            ledger: run.ledger,
+            engine_rounds: run.rounds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::generators::{self, instance_with_palettes, PaletteKind};
+
+    #[test]
+    fn engine_trial_colors_random_graphs_properly() {
+        for seed in 0..3 {
+            let graph = generators::gnp(120, 0.08, seed).unwrap();
+            let instance = ListColoringInstance::delta_plus_one(&graph).unwrap();
+            let out = EngineTrialColoring::default()
+                .run(&instance, ExecutionModel::congested_clique(120))
+                .unwrap();
+            out.outcome.coloring.verify(&instance).unwrap();
+            assert_eq!(out.outcome.name, "engine-trial");
+            assert!(out.outcome.report.within_limits());
+            assert!(out.outcome.report.rounds > 0);
+            assert!(out.ledger.total_messages() > 0);
+        }
+    }
+
+    #[test]
+    fn engine_trial_handles_list_palettes() {
+        let graph = generators::gnp(90, 0.15, 4).unwrap();
+        let instance =
+            instance_with_palettes(&graph, PaletteKind::DeltaPlusOneList { universe: 3000 }, 8)
+                .unwrap();
+        let out = EngineTrialColoring::default()
+            .run(&instance, ExecutionModel::congested_clique(90))
+            .unwrap();
+        out.outcome.coloring.verify(&instance).unwrap();
+    }
+
+    #[test]
+    fn thread_count_leaves_coloring_and_ledger_unchanged() {
+        let graph = generators::gnp(140, 0.1, 9).unwrap();
+        let instance = ListColoringInstance::delta_plus_one(&graph).unwrap();
+        let model = ExecutionModel::congested_clique(140);
+        let single = EngineTrialColoring::default()
+            .run(&instance, model.clone())
+            .unwrap();
+        for threads in [2, 6] {
+            let multi = EngineTrialColoring {
+                threads,
+                ..EngineTrialColoring::default()
+            }
+            .run(&instance, model.clone())
+            .unwrap();
+            assert_eq!(single.outcome.coloring, multi.outcome.coloring);
+            assert_eq!(single.ledger, multi.ledger);
+            assert_eq!(single.outcome.report, multi.outcome.report);
+        }
+    }
+
+    #[test]
+    fn round_cap_falls_back_to_greedy_completion() {
+        let graph = generators::gnp(60, 0.3, 2).unwrap();
+        let instance = ListColoringInstance::delta_plus_one(&graph).unwrap();
+        let out = EngineTrialColoring {
+            max_rounds: 1,
+            ..EngineTrialColoring::default()
+        }
+        .run(&instance, ExecutionModel::congested_clique(60))
+        .unwrap();
+        out.outcome.coloring.verify(&instance).unwrap();
+        assert_eq!(out.engine_rounds, 1);
+    }
+}

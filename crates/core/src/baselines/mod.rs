@@ -11,12 +11,16 @@
 //!   the Luby reduction to MIS plus the derandomized Luby MIS; an
 //!   O(log)-round deterministic baseline in the spirit of
 //!   Censor-Hillel–Parter–Schwartzman.
+//! * [`engine_trial::EngineTrialColoring`] — the trial coloring executed on
+//!   the `cc-runtime` message-passing engine instead of the centralized
+//!   accounting simulator (experiment E9 compares the two backends).
 //! * The *randomized* variant of `ColorReduce` itself (random hash seeds, no
 //!   conditional-expectations search) is obtained by running
 //!   [`crate::color_reduce::ColorReduce`] with
 //!   [`crate::config::SeedStrategy::FixedSalt`]; see
 //!   [`randomized_color_reduce`].
 
+pub mod engine_trial;
 pub mod greedy;
 pub mod mis_reduction;
 pub mod trial;

@@ -40,6 +40,7 @@ use crate::partition::partition;
 use crate::trace::{CallAction, CallRecord, RecursionTrace};
 
 /// Result of a `ColorReduce` execution.
+#[must_use = "the outcome carries the coloring, report, and recursion trace"]
 #[derive(Debug, Clone)]
 pub struct ColorReduceOutcome {
     coloring: Coloring,

@@ -5,6 +5,7 @@ use cc_sim::SimError;
 
 /// Errors returned by the coloring drivers.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum CoreError {
     /// The input instance or an intermediate coloring violated a graph-level
     /// invariant.

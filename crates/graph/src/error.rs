@@ -4,7 +4,11 @@
 use crate::{Color, NodeId};
 
 /// Errors produced by the graph substrate.
+///
+/// Marked `#[non_exhaustive]`: new invariants gain new variants over time,
+/// and downstream matches must stay valid when they do.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum GraphError {
     /// An edge endpoint refers to a node outside `0..node_count`.
     NodeOutOfRange {

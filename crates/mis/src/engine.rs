@@ -1,0 +1,166 @@
+//! Luby's MIS executed on the `cc-runtime` message-passing engine.
+//!
+//! The counterpart of [`crate::luby::LubyMis`]: instead of a centralized
+//! loop charging [`crate::luby::LUBY_PHASE_ROUNDS`] per phase, every node
+//! runs [`cc_runtime::programs::luby::LubyMisProgram`] and the engine routes
+//! actual priority/join/leave messages (three engine rounds per phase) with
+//! bandwidth and message-width budgets checked at delivery time.
+
+use cc_graph::csr::CsrGraph;
+use cc_runtime::programs::luby::LubyMisProgram;
+use cc_runtime::{word_bits_limit, Engine, EngineConfig, MessageLedger, NodeProgram};
+use cc_sim::{ExecutionModel, ExecutionReport, SimError};
+
+use crate::MisResult;
+
+/// Engine rounds per Luby phase (priority, decide, leave).
+pub const ENGINE_ROUNDS_PER_PHASE: u64 = 3;
+
+/// Luby MIS on the message-passing engine.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineLubyMis {
+    /// Worker threads stepping nodes each round.
+    pub threads: usize,
+    /// Seed for the per-node priority streams.
+    pub seed: u64,
+    /// Engine round cap (the algorithm terminates w.h.p. in O(log 𝔫)
+    /// phases; the cap is a safety valve).
+    pub max_rounds: u64,
+}
+
+impl Default for EngineLubyMis {
+    fn default() -> Self {
+        EngineLubyMis {
+            threads: 1,
+            seed: 0x1b1,
+            max_rounds: 30_000,
+        }
+    }
+}
+
+/// An MIS result plus the engine's accounting and determinism ledgers.
+#[must_use = "the outcome carries the MIS, report, and determinism ledger"]
+#[derive(Debug, Clone)]
+pub struct EngineMisOutcome {
+    /// The independent set and phase count, shaped like the centralized
+    /// algorithms' results.
+    pub result: MisResult,
+    /// The model-accounting read-out.
+    pub report: ExecutionReport,
+    /// The engine's message ledger (digest + per-round loads).
+    pub ledger: MessageLedger,
+}
+
+impl EngineLubyMis {
+    /// Runs the algorithm on `graph` under `model`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in lenient mode; kept fallible for parity with future
+    /// strict-mode use.
+    pub fn run(
+        &self,
+        graph: &CsrGraph,
+        model: ExecutionModel,
+    ) -> Result<EngineMisOutcome, SimError> {
+        let n = graph.node_count();
+        let bits = word_bits_limit(n);
+        let programs: Vec<Box<dyn NodeProgram<Output = Option<bool>>>> = graph
+            .nodes()
+            .map(|v| {
+                let neighbors: Vec<u32> = graph.neighbor_slice(v).iter().map(|u| u.0).collect();
+                Box::new(LubyMisProgram::new(v.0, neighbors, bits, self.seed)) as _
+            })
+            .collect();
+        let engine = Engine::new(EngineConfig {
+            threads: self.threads,
+            max_rounds: self.max_rounds,
+            label: "engine-luby".to_string(),
+            ..EngineConfig::default()
+        });
+        let run = engine.run(model, programs)?;
+        // If the round cap cut the protocol short, some nodes are still
+        // undecided (`None`): complete deterministically by greedily joining
+        // undecided nodes in id order, mirroring the centralized baselines'
+        // safety valves. A completed run has no `None`s and is returned
+        // verbatim.
+        let mut in_set: Vec<bool> = run.outputs.iter().map(|o| o.unwrap_or(false)).collect();
+        for (i, output) in run.outputs.iter().enumerate() {
+            if output.is_none()
+                && !graph
+                    .neighbors(cc_graph::NodeId::from_index(i))
+                    .any(|u| in_set[u.index()])
+            {
+                in_set[i] = true;
+            }
+        }
+        Ok(EngineMisOutcome {
+            result: MisResult {
+                in_set,
+                phases: run.rounds.div_ceil(ENGINE_ROUNDS_PER_PHASE),
+            },
+            report: run.report,
+            ledger: run.ledger,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_mis;
+    use cc_graph::generators;
+
+    #[test]
+    fn engine_luby_produces_valid_mis_on_random_graphs() {
+        for seed in 0..4 {
+            let g = generators::gnp(120, 0.08, seed).unwrap();
+            let out = EngineLubyMis::default()
+                .run(&g, ExecutionModel::congested_clique(120))
+                .unwrap();
+            verify_mis(&g, &out.result.in_set).unwrap();
+            assert!(out.result.phases >= 1);
+            assert!(out.report.within_limits());
+        }
+    }
+
+    #[test]
+    fn engine_luby_is_deterministic_across_thread_counts() {
+        let g = generators::gnp(150, 0.06, 7).unwrap();
+        let model = ExecutionModel::congested_clique(150);
+        let single = EngineLubyMis::default().run(&g, model.clone()).unwrap();
+        for threads in [2, 5] {
+            let multi = EngineLubyMis {
+                threads,
+                ..EngineLubyMis::default()
+            }
+            .run(&g, model.clone())
+            .unwrap();
+            assert_eq!(single.result, multi.result);
+            assert_eq!(single.ledger, multi.ledger);
+            assert_eq!(single.report, multi.report);
+        }
+    }
+
+    #[test]
+    fn round_cap_is_completed_greedily_to_a_valid_mis() {
+        let g = generators::gnp(80, 0.1, 5).unwrap();
+        let out = EngineLubyMis {
+            max_rounds: 2,
+            ..EngineLubyMis::default()
+        }
+        .run(&g, ExecutionModel::congested_clique(80))
+        .unwrap();
+        verify_mis(&g, &out.result.in_set).unwrap();
+    }
+
+    #[test]
+    fn engine_luby_on_empty_graph_selects_everyone() {
+        let g = CsrGraph::empty(9);
+        let out = EngineLubyMis::default()
+            .run(&g, ExecutionModel::congested_clique(9))
+            .unwrap();
+        assert_eq!(out.result.size(), 9);
+        assert_eq!(out.result.phases, 1);
+    }
+}

@@ -21,11 +21,15 @@
 //!   experiment E5 reports its measured phase counts separately so the
 //!   substitution is visible.
 //! * [`verify`] — independence/maximality checking used by every test.
+//! * [`engine`] — Luby MIS executed on the `cc-runtime` message-passing
+//!   engine, with real per-node mailboxes instead of centralized
+//!   accounting.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod derand;
+pub mod engine;
 pub mod greedy;
 pub mod luby;
 pub mod reduction;

@@ -5,6 +5,7 @@ use cc_graph::NodeId;
 
 /// Errors found when checking a claimed MIS.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum MisError {
     /// Two adjacent nodes are both in the set.
     NotIndependent {

@@ -1,0 +1,498 @@
+//! The round-synchronous execution engine.
+//!
+//! [`Engine::run`] advances a population of [`NodeProgram`]s in lock-step
+//! rounds. Each round has two phases:
+//!
+//! 1. **Step (parallel).** Senders are split into chunks fixed by the
+//!    clique size (see [`crate::router`]). For each chunk, a worker gathers
+//!    every node's inbox from the previous round's chunk arenas, steps the
+//!    program, and validates / digests / counting-sorts the chunk's
+//!    outgoing messages by destination. All per-message work happens here,
+//!    on the workers.
+//! 2. **Merge (driver).** At the barrier the driving thread folds the
+//!    chunks in fixed chunk order: ledger digest, load statistics,
+//!    violations, round charging — O(chunks · 𝔫) work independent of the
+//!    message volume.
+//!
+//! Because chunk membership and merge order depend only on the clique
+//! size, results, reports, and ledgers are byte-identical for any worker
+//! thread count.
+
+use std::sync::{Arc, Mutex};
+
+use cc_sim::{ClusterContext, ExecutionModel, ExecutionReport, SimError};
+
+use crate::env::NodeEnv;
+use crate::ledger::MessageLedger;
+use crate::message::{word_bits_limit, Message};
+use crate::pool::ChunkedExecutor;
+use crate::program::{NodeProgram, NodeStatus};
+use crate::router::{chunk_count, chunk_range, merge_round, ChunkBuffers};
+
+/// How an [`Engine`] executes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads stepping nodes each round (1 = inline, no pool).
+    pub threads: usize,
+    /// Strict mode aborts on the first model violation; lenient mode (the
+    /// default, matching [`ClusterContext::new`]) records violations in the
+    /// report and keeps running.
+    pub strict: bool,
+    /// Safety cap on rounds; an execution that hits it stops with
+    /// [`EngineOutcome::all_halted`] false.
+    pub max_rounds: u64,
+    /// Phase label under which rounds are charged to the context.
+    pub label: String,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 1,
+            strict: false,
+            max_rounds: 100_000,
+            label: "engine".to_string(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A default configuration with `threads` workers.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        EngineConfig {
+            threads,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+/// The result of one engine execution.
+#[must_use = "the outcome carries the outputs, report, and determinism ledger"]
+#[derive(Debug, Clone)]
+pub struct EngineOutcome<O> {
+    /// Per-node outputs, indexed by node id.
+    pub outputs: Vec<O>,
+    /// The model-accounting read-out (rounds, words, violations), built from
+    /// the same [`ClusterContext`] machinery the centralized simulator uses.
+    pub report: ExecutionReport,
+    /// The deterministic message ledger (digest + per-round loads).
+    pub ledger: MessageLedger,
+    /// Engine rounds executed (barriers passed), including communication-free
+    /// ones; [`ExecutionReport::rounds`] counts only rounds that communicated.
+    pub rounds: u64,
+    /// Whether every node halted (false only when `max_rounds` was hit).
+    pub all_halted: bool,
+}
+
+/// One node's engine-side state: its program plus message scratch buffers.
+/// Only the owning chunk's worker touches a slot during the step phase.
+struct Slot<O> {
+    program: Option<Box<dyn NodeProgram<Output = O>>>,
+    inbox: Vec<Message>,
+    outbox: Vec<Message>,
+    halted: bool,
+}
+
+/// The round-synchronous message-passing engine.
+///
+/// See the crate docs for the model contract and the determinism guarantee.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// An engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Runs one program per clique node until every node halts (or
+    /// `max_rounds` is hit), returning outputs in node order plus the
+    /// accounting report and the determinism ledger.
+    ///
+    /// `programs.len()` is the clique size 𝔫; it should match
+    /// `model.machines` for the accounting to be meaningful.
+    ///
+    /// # Errors
+    ///
+    /// In strict mode, returns [`SimError::ConstraintViolated`] on the first
+    /// message-width or bandwidth violation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a program panics or addresses a message outside `0..n`.
+    pub fn run<O: Send + 'static>(
+        &self,
+        model: ExecutionModel,
+        programs: Vec<Box<dyn NodeProgram<Output = O>>>,
+    ) -> Result<EngineOutcome<O>, SimError> {
+        let n = programs.len();
+        let mut ctx = if self.config.strict {
+            ClusterContext::strict(model)
+        } else {
+            ClusterContext::new(model)
+        };
+        let mut ledger = MessageLedger::new();
+        if n == 0 {
+            return Ok(EngineOutcome {
+                outputs: Vec::new(),
+                report: ctx.report(),
+                ledger,
+                rounds: 0,
+                all_halted: true,
+            });
+        }
+        let chunks = chunk_count(n);
+        let bits_limit = word_bits_limit(n);
+        let bandwidth_limit = ctx.model().per_round_bandwidth_words;
+        let executor = ChunkedExecutor::new(self.config.threads);
+        let slots: Arc<Vec<Mutex<Slot<O>>>> = Arc::new(
+            programs
+                .into_iter()
+                .map(|program| {
+                    Mutex::new(Slot {
+                        program: Some(program),
+                        inbox: Vec::new(),
+                        outbox: Vec::new(),
+                        halted: false,
+                    })
+                })
+                .collect(),
+        );
+        // Double-buffered chunk state: workers read last round's sealed
+        // chunks (`delivered`, immutable) and write this round's chunks
+        // (`current`, one mutex per chunk, locked only by its owner).
+        let mut delivered: Arc<Vec<ChunkBuffers>> =
+            Arc::new((0..chunks).map(|_| ChunkBuffers::new(n)).collect());
+        let mut current: Arc<Vec<Mutex<ChunkBuffers>>> = Arc::new(
+            (0..chunks)
+                .map(|_| Mutex::new(ChunkBuffers::new(n)))
+                .collect(),
+        );
+
+        let mut rounds = 0u64;
+        let mut all_halted = false;
+        for round in 0..self.config.max_rounds {
+            let step = {
+                let slots = Arc::clone(&slots);
+                let delivered = Arc::clone(&delivered);
+                let current = Arc::clone(&current);
+                Arc::new(move |k: usize| {
+                    let mut chunk = current[k].lock().expect("chunk state poisoned");
+                    chunk.reset();
+                    let range = chunk_range(n, chunks, k);
+                    for i in range.clone() {
+                        let mut slot = slots[i].lock().expect("node slot poisoned");
+                        let slot = &mut *slot;
+                        if slot.halted {
+                            chunk.note_halted();
+                            // Drop the stale outbox of the halting round so
+                            // the scatter pass below sees it empty.
+                            slot.outbox.clear();
+                            continue;
+                        }
+                        slot.inbox.clear();
+                        for prev in delivered.iter() {
+                            slot.inbox.extend_from_slice(prev.slice_for(i));
+                        }
+                        slot.outbox.clear();
+                        let mut env =
+                            NodeEnv::new(i as u32, n, round, &slot.inbox, &mut slot.outbox);
+                        let program = slot.program.as_mut().expect("program taken before finish");
+                        if program.on_round(&mut env) == NodeStatus::Halt {
+                            slot.halted = true;
+                            chunk.note_halted();
+                        }
+                        chunk.count_outbox(
+                            i as u32,
+                            &slot.outbox,
+                            round,
+                            bits_limit,
+                            bandwidth_limit,
+                        );
+                    }
+                    chunk.begin_scatter();
+                    for i in range {
+                        let slot = slots[i].lock().expect("node slot poisoned");
+                        chunk.scatter_outbox(&slot.outbox);
+                    }
+                })
+            };
+            executor.run_indexed(chunks, &step);
+            drop(step);
+            rounds = round + 1;
+            // Barrier: reclaim the chunk states (workers have dropped their
+            // handles after the executor joined) and merge them in fixed
+            // chunk order.
+            let sealed: Vec<ChunkBuffers> = Arc::try_unwrap(current)
+                .map_err(|_| ())
+                .expect("worker still holds chunk state after barrier")
+                .into_iter()
+                .map(|m| m.into_inner().expect("chunk state poisoned"))
+                .collect();
+            let merge = merge_round(
+                round,
+                &sealed,
+                &mut ctx,
+                &mut ledger,
+                &self.config.label,
+                bits_limit,
+            )?;
+            all_halted = merge.halted == n;
+            // Swap generations, recycling last round's buffers.
+            let recycled = Arc::try_unwrap(delivered)
+                .map_err(|_| ())
+                .expect("worker still holds delivered state after barrier");
+            delivered = Arc::new(sealed);
+            current = Arc::new(recycled.into_iter().map(Mutex::new).collect());
+            if all_halted {
+                break;
+            }
+        }
+
+        let mut outputs = Vec::with_capacity(n);
+        for slot in slots.iter() {
+            let program = slot
+                .lock()
+                .expect("node slot poisoned")
+                .program
+                .take()
+                .expect("program already finished");
+            outputs.push(program.finish());
+        }
+        Ok(EngineOutcome {
+            outputs,
+            report: ctx.report(),
+            ledger,
+            rounds,
+            all_halted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Flood-fill distance from node 0: node 0 announces in round 0, every
+    /// node forwards the first announcement it hears to all neighbors.
+    /// Output: the round in which the announcement arrived (= BFS distance
+    /// on the ring, given unit steps).
+    struct Relay {
+        neighbors: Vec<u32>,
+        heard_at: Option<u64>,
+        is_root: bool,
+    }
+
+    impl NodeProgram for Relay {
+        type Output = Option<u64>;
+
+        fn on_round(&mut self, env: &mut NodeEnv<'_>) -> NodeStatus {
+            if env.round() == 0 && self.is_root {
+                self.heard_at = Some(0);
+                let neighbors = self.neighbors.clone();
+                env.send_to_all(neighbors, 1);
+                return NodeStatus::Halt;
+            }
+            if self.heard_at.is_none() && !env.inbox().is_empty() {
+                self.heard_at = Some(env.round());
+                let neighbors = self.neighbors.clone();
+                env.send_to_all(neighbors, 1);
+                return NodeStatus::Halt;
+            }
+            NodeStatus::Continue
+        }
+
+        fn finish(self: Box<Self>) -> Option<u64> {
+            self.heard_at
+        }
+    }
+
+    fn ring_programs(n: usize) -> Vec<Box<dyn NodeProgram<Output = Option<u64>>>> {
+        (0..n)
+            .map(|i| {
+                let left = ((i + n - 1) % n) as u32;
+                let right = ((i + 1) % n) as u32;
+                Box::new(Relay {
+                    neighbors: vec![left, right],
+                    heard_at: None,
+                    is_root: i == 0,
+                }) as Box<dyn NodeProgram<Output = Option<u64>>>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flood_fill_computes_ring_distances() {
+        let n = 9;
+        let engine = Engine::new(EngineConfig::with_threads(1));
+        let outcome = engine
+            .run(ExecutionModel::congested_clique(n), ring_programs(n))
+            .unwrap();
+        assert!(outcome.all_halted);
+        for (i, heard) in outcome.outputs.iter().enumerate() {
+            let dist = i.min(n - i) as u64;
+            assert_eq!(*heard, Some(dist), "node {i}");
+        }
+        assert!(outcome.report.within_limits());
+        assert!(outcome.report.rounds > 0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results_or_ledger() {
+        let n = 40;
+        let baseline = Engine::new(EngineConfig::with_threads(1))
+            .run(ExecutionModel::congested_clique(n), ring_programs(n))
+            .unwrap();
+        for threads in [2, 4, 7] {
+            let parallel = Engine::new(EngineConfig::with_threads(threads))
+                .run(ExecutionModel::congested_clique(n), ring_programs(n))
+                .unwrap();
+            assert_eq!(baseline.outputs, parallel.outputs, "threads = {threads}");
+            assert_eq!(baseline.ledger, parallel.ledger, "threads = {threads}");
+            assert_eq!(baseline.report, parallel.report, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_population_terminates_immediately() {
+        let outcome = Engine::default()
+            .run::<()>(ExecutionModel::congested_clique(1), Vec::new())
+            .unwrap();
+        assert_eq!(outcome.rounds, 0);
+        assert!(outcome.all_halted);
+        assert!(outcome.outputs.is_empty());
+    }
+
+    /// A program that never halts (and never communicates).
+    struct Stubborn;
+
+    impl NodeProgram for Stubborn {
+        type Output = ();
+
+        fn on_round(&mut self, _env: &mut NodeEnv<'_>) -> NodeStatus {
+            NodeStatus::Continue
+        }
+
+        fn finish(self: Box<Self>) {}
+    }
+
+    #[test]
+    fn max_rounds_caps_non_terminating_programs() {
+        let engine = Engine::new(EngineConfig {
+            max_rounds: 5,
+            ..EngineConfig::default()
+        });
+        let programs: Vec<Box<dyn NodeProgram<Output = ()>>> =
+            vec![Box::new(Stubborn), Box::new(Stubborn)];
+        let outcome = engine
+            .run(ExecutionModel::congested_clique(2), programs)
+            .unwrap();
+        assert_eq!(outcome.rounds, 5);
+        assert!(!outcome.all_halted);
+        // Communication-free rounds cost nothing.
+        assert_eq!(outcome.report.rounds, 0);
+    }
+
+    /// A program that sends one absurdly wide word.
+    struct WideSender;
+
+    impl NodeProgram for WideSender {
+        type Output = ();
+
+        fn on_round(&mut self, env: &mut NodeEnv<'_>) -> NodeStatus {
+            if env.node() == 0 && env.round() == 0 {
+                env.send(1, u64::MAX);
+            }
+            NodeStatus::Halt
+        }
+
+        fn finish(self: Box<Self>) {}
+    }
+
+    fn wide_programs() -> Vec<Box<dyn NodeProgram<Output = ()>>> {
+        vec![Box::new(WideSender), Box::new(WideSender)]
+    }
+
+    #[test]
+    fn wide_messages_are_reported_lenient_and_rejected_strict() {
+        let lenient = Engine::default()
+            .run(ExecutionModel::congested_clique(2), wide_programs())
+            .unwrap();
+        assert!(!lenient.report.within_limits());
+        assert_eq!(lenient.report.violations.len(), 1);
+
+        let strict = Engine::new(EngineConfig {
+            strict: true,
+            ..EngineConfig::default()
+        })
+        .run(ExecutionModel::congested_clique(2), wide_programs());
+        assert!(matches!(strict, Err(SimError::ConstraintViolated(_))));
+    }
+
+    /// Each node sends its id times a counter to both ring neighbors for a
+    /// fixed number of rounds — a messaging-heavy workload for stressing
+    /// the chunked delivery path.
+    struct Chatter {
+        left: u32,
+        right: u32,
+        until: u64,
+        checksum: u64,
+    }
+
+    impl NodeProgram for Chatter {
+        type Output = u64;
+
+        fn on_round(&mut self, env: &mut NodeEnv<'_>) -> NodeStatus {
+            for m in env.inbox() {
+                self.checksum = self.checksum.wrapping_add(m.word ^ u64::from(m.src));
+            }
+            if env.round() >= self.until {
+                return NodeStatus::Halt;
+            }
+            let word = (u64::from(env.node()) + env.round()) & 0xffff;
+            let (left, right) = (self.left, self.right);
+            env.send(left, word);
+            env.send(right, word);
+            NodeStatus::Continue
+        }
+
+        fn finish(self: Box<Self>) -> u64 {
+            self.checksum
+        }
+    }
+
+    #[test]
+    fn heavy_chatter_is_deterministic_and_counts_messages() {
+        let n = 130;
+        let build = || -> Vec<Box<dyn NodeProgram<Output = u64>>> {
+            (0..n)
+                .map(|i| {
+                    Box::new(Chatter {
+                        left: ((i + n - 1) % n) as u32,
+                        right: ((i + 1) % n) as u32,
+                        until: 9,
+                        checksum: 0,
+                    }) as _
+                })
+                .collect()
+        };
+        let baseline = Engine::new(EngineConfig::with_threads(1))
+            .run(ExecutionModel::congested_clique(n), build())
+            .unwrap();
+        // 9 sending rounds, 2 messages per node per round.
+        assert_eq!(baseline.ledger.total_messages(), 9 * 2 * n as u64);
+        let parallel = Engine::new(EngineConfig::with_threads(4))
+            .run(ExecutionModel::congested_clique(n), build())
+            .unwrap();
+        assert_eq!(baseline.outputs, parallel.outputs);
+        assert_eq!(baseline.ledger, parallel.ledger);
+    }
+}

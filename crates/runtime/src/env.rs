@@ -1,0 +1,119 @@
+//! The per-node, per-round view a [`crate::program::NodeProgram`] runs
+//! against.
+
+use crate::message::Message;
+
+/// What one node sees during one round: its identity, the messages delivered
+//  to it this round, and an outbox for the messages it sends.
+///
+/// The environment is handed to [`crate::program::NodeProgram::on_round`] by
+/// the engine. Everything here is local to the node — a program can not
+/// observe any other node's state, which is what makes parallel execution
+/// sound.
+#[derive(Debug)]
+pub struct NodeEnv<'a> {
+    node: u32,
+    n: usize,
+    round: u64,
+    inbox: &'a [Message],
+    outbox: &'a mut Vec<Message>,
+}
+
+impl<'a> NodeEnv<'a> {
+    pub(crate) fn new(
+        node: u32,
+        n: usize,
+        round: u64,
+        inbox: &'a [Message],
+        outbox: &'a mut Vec<Message>,
+    ) -> Self {
+        NodeEnv {
+            node,
+            n,
+            round,
+            inbox,
+            outbox,
+        }
+    }
+
+    /// This node's id in `0..n`.
+    #[inline]
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// Number of nodes in the clique.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The current round, starting from 0.
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The messages delivered to this node this round (sent by other nodes
+    /// last round), ordered by sender id.
+    #[inline]
+    pub fn inbox(&self) -> &[Message] {
+        self.inbox
+    }
+
+    /// Sends one word to `dst`, to be delivered next round.
+    ///
+    /// The engine checks the word width and this node's per-round send
+    /// budget at delivery time; nothing is enforced here, so a program can
+    /// not observe global state through error paths.
+    pub fn send(&mut self, dst: u32, word: u64) {
+        self.outbox.push(Message {
+            src: self.node,
+            dst,
+            word,
+        });
+    }
+
+    /// Sends `word` to every node in `dsts`.
+    pub fn send_to_all(&mut self, dsts: impl IntoIterator<Item = u32>, word: u64) {
+        for dst in dsts {
+            self.send(dst, word);
+        }
+    }
+
+    /// Sends `word` to every other node in the clique.
+    pub fn broadcast(&mut self, word: u64) {
+        for dst in 0..self.n as u32 {
+            if dst != self.node {
+                self.send(dst, word);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_broadcast_fill_the_outbox() {
+        let inbox = vec![Message {
+            src: 2,
+            dst: 1,
+            word: 9,
+        }];
+        let mut outbox = Vec::new();
+        let mut env = NodeEnv::new(1, 4, 3, &inbox, &mut outbox);
+        assert_eq!(env.node(), 1);
+        assert_eq!(env.n(), 4);
+        assert_eq!(env.round(), 3);
+        assert_eq!(env.inbox().len(), 1);
+        env.send(0, 7);
+        env.send_to_all([2, 3], 8);
+        env.broadcast(5);
+        // broadcast skips the sender itself.
+        assert_eq!(outbox.len(), 1 + 2 + 3);
+        assert!(outbox.iter().all(|m| m.src == 1));
+        assert!(outbox.iter().all(|m| m.dst != 1 || m.src != m.dst));
+    }
+}

@@ -1,0 +1,101 @@
+//! # cc-runtime — a parallel, round-synchronous message-passing engine
+//!
+//! The rest of this workspace *accounts* for the CONGESTED CLIQUE model:
+//! `cc-sim`'s [`ClusterContext`](cc_sim::ClusterContext) charges rounds and
+//! bandwidth to an algorithm that actually computes centrally. This crate
+//! *executes* the model: every clique node is an independent
+//! [`NodeProgram`] state machine with its own mailbox, rounds advance at a
+//! barrier, and per-node step functions run in parallel on a chunked worker
+//! pool (the vendored `threadpool` crate).
+//!
+//! The model is enforced at **delivery time**, where the centralized
+//! simulator enforces it at charge time:
+//!
+//! * every message is a single word whose payload must fit in
+//!   O(log 𝔫) bits ([`message::word_bits_limit`]);
+//! * per-round send *and* receive loads are checked per node against the
+//!   model's bandwidth limit;
+//! * violations flow through the same [`cc_sim::error::Violation`] /
+//!   [`cc_sim::ExecutionReport`] machinery the simulator uses, so
+//!   experiment tables treat both backends uniformly.
+//!
+//! ## Determinism
+//!
+//! Results, execution reports, and the message ledger are **byte-identical
+//! for every worker-thread count**. Senders are partitioned into chunks
+//! fixed by the clique size alone (never the thread count); a worker
+//! processes a whole chunk — stepping its nodes in ascending id order,
+//! digesting and counting-sorting its messages into chunk-owned buffers —
+//! so per-chunk state is deterministic no matter which worker ran it. At
+//! the round barrier the driving thread merges the chunks in fixed chunk
+//! order: ledger folding, round charging, and violation recording all
+//! happen there. Programs get determinism by construction as long as their
+//! own randomness is seeded (see the ported programs, which seed a
+//! per-node ChaCha8 stream).
+//!
+//! ## Example
+//!
+//! ```
+//! use cc_runtime::{Engine, EngineConfig, NodeEnv, NodeProgram, NodeStatus};
+//! use cc_sim::ExecutionModel;
+//!
+//! /// Every node sends its id to node 0, which sums what it hears.
+//! struct Report { sum: u64 }
+//!
+//! impl NodeProgram for Report {
+//!     type Output = u64;
+//!     fn on_round(&mut self, env: &mut NodeEnv<'_>) -> NodeStatus {
+//!         match env.round() {
+//!             0 => {
+//!                 if env.node() != 0 {
+//!                     env.send(0, u64::from(env.node()));
+//!                     NodeStatus::Halt
+//!                 } else {
+//!                     NodeStatus::Continue
+//!                 }
+//!             }
+//!             _ => {
+//!                 self.sum = env.inbox().iter().map(|m| m.word).sum();
+//!                 NodeStatus::Halt
+//!             }
+//!         }
+//!     }
+//!     fn finish(self: Box<Self>) -> u64 { self.sum }
+//! }
+//!
+//! let programs: Vec<Box<dyn NodeProgram<Output = u64>>> =
+//!     (0..8).map(|_| Box::new(Report { sum: 0 }) as _).collect();
+//! let outcome = Engine::new(EngineConfig::with_threads(4))
+//!     .run(ExecutionModel::congested_clique(8), programs)
+//!     .unwrap();
+//! assert_eq!(outcome.outputs[0], (1..8).sum::<u64>());
+//! assert!(outcome.report.within_limits());
+//! ```
+//!
+//! ## Ported algorithms
+//!
+//! [`programs::trial`] (randomized list coloring) and [`programs::luby`]
+//! (Luby MIS) port two centrally-simulated baselines onto the engine;
+//! `clique_coloring::baselines::engine_trial` and `cc_mis::engine` adapt
+//! them to the workspace's graph types. Experiment E9 (`cc-bench`) compares
+//! engine wall-clock against the centralized simulator across thread
+//! counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod env;
+pub mod ledger;
+pub mod message;
+pub mod pool;
+pub mod program;
+pub mod programs;
+mod router;
+
+pub use engine::{Engine, EngineConfig, EngineOutcome};
+pub use env::NodeEnv;
+pub use ledger::{MessageLedger, RoundStats};
+pub use message::{word_bits_limit, Message};
+pub use pool::ChunkedExecutor;
+pub use program::{NodeProgram, NodeStatus};

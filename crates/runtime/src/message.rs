@@ -1,0 +1,78 @@
+//! Messages: single O(log 𝔫)-bit words addressed between clique nodes.
+//!
+//! The CONGESTED CLIQUE model lets every node send every other node one
+//! O(log 𝔫)-bit message per round. The engine represents a message as one
+//! machine word plus its addressing; the *width* of the payload is checked
+//! at delivery time against [`word_bits_limit`], so a program that tries to
+//! smuggle a wide value through a single message is caught the same way a
+//! bandwidth overrun is.
+
+/// One message in flight: a single word from `src` to `dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Message {
+    /// Sending node.
+    pub src: u32,
+    /// Receiving node.
+    pub dst: u32,
+    /// The O(log 𝔫)-bit payload.
+    pub word: u64,
+}
+
+/// The number of significant bits in `word` (at least 1, so the zero word
+/// counts as a 1-bit message).
+#[inline]
+pub fn bits_of(word: u64) -> u32 {
+    (64 - word.leading_zeros()).max(1)
+}
+
+/// The maximum payload width, in bits, of one message in an 𝔫-node clique.
+///
+/// "O(log 𝔫) bits" concretely: enough for a node id, a color drawn from an
+/// O(𝔫²)-sized universe, or a priority with room for tie-breaking —
+/// `2·⌈log₂ 𝔫⌉ + 6`, clamped to `[16, 64]`. Like
+/// [`cc_sim::constants::BIG_O_SLACK`], the slack turns an asymptotic bound
+/// into a checkable numeric limit without hiding real asymptotic cheating.
+pub fn word_bits_limit(n: usize) -> u32 {
+    // ⌈log₂ n⌉ without overflow for any usize.
+    let log = usize::BITS - (n.max(2) - 1).leading_zeros();
+    (2 * log + 6).clamp(16, 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_of_counts_significant_bits() {
+        assert_eq!(bits_of(0), 1);
+        assert_eq!(bits_of(1), 1);
+        assert_eq!(bits_of(2), 2);
+        assert_eq!(bits_of(255), 8);
+        assert_eq!(bits_of(256), 9);
+        assert_eq!(bits_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn word_limit_grows_logarithmically() {
+        assert_eq!(word_bits_limit(0), 16);
+        assert_eq!(word_bits_limit(2), 16);
+        // n = 1024: 2 * 10 + 6 = 26 bits.
+        assert_eq!(word_bits_limit(1024), 26);
+        // n = 1000 rounds up to the same power of two.
+        assert_eq!(word_bits_limit(1000), 26);
+        assert!(word_bits_limit(usize::MAX) <= 64);
+    }
+
+    #[test]
+    fn word_limit_admits_colors_from_a_quadratic_universe() {
+        for n in [16usize, 100, 1000, 10_000] {
+            let limit = word_bits_limit(n);
+            let largest_color = (n * n - 1) as u64;
+            assert!(
+                bits_of(largest_color) <= limit,
+                "n={n}: color {largest_color} needs {} bits, limit {limit}",
+                bits_of(largest_color)
+            );
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Chunked parallel execution of per-round work.
+//!
+//! The engine's unit of parallel work is "process sender chunk `k` of this
+//! round" (step every node in the chunk, then counting-sort its messages —
+//! see [`crate::router`]). [`ChunkedExecutor`] queues one job per chunk on
+//! a shared-queue thread pool (the vendored [`threadpool`] crate); with
+//! more chunks than workers, fast workers drain more chunks — queue-greedy
+//! load balancing without work-stealing deques. Determinism is not the
+//! executor's job: chunk membership is fixed by the clique size, workers
+//! write only chunk-owned state, and the engine merges chunks in fixed
+//! order at the barrier.
+
+use std::sync::Arc;
+
+use threadpool::ThreadPool;
+
+/// Runs indexed jobs `f(0), …, f(chunks - 1)` in parallel on a fixed worker
+/// pool.
+#[derive(Debug)]
+pub struct ChunkedExecutor {
+    /// `None` when `threads == 1`: single-threaded runs execute inline on
+    /// the caller's thread, with zero pool overhead.
+    pool: Option<ThreadPool>,
+    threads: usize,
+}
+
+impl ChunkedExecutor {
+    /// Creates an executor with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        ChunkedExecutor {
+            pool: (threads > 1).then(|| ThreadPool::with_name("cc-runtime-worker".into(), threads)),
+            threads,
+        }
+    }
+
+    /// The number of worker threads (1 means inline execution).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Calls `f(k)` for every `k in 0..chunks`, in parallel, returning when
+    /// all calls have finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` panicked on any worker (the panic is surfaced on the
+    /// calling thread after the barrier).
+    pub fn run_indexed<F>(&self, chunks: usize, f: &Arc<F>)
+    where
+        F: Fn(usize) + Send + Sync + 'static,
+    {
+        let Some(pool) = &self.pool else {
+            for k in 0..chunks {
+                f(k);
+            }
+            return;
+        };
+        let panics_before = pool.panic_count();
+        for k in 0..chunks {
+            let f = Arc::clone(f);
+            pool.execute(move || f(k));
+        }
+        pool.join();
+        assert_eq!(
+            pool.panic_count(),
+            panics_before,
+            "a node program panicked on a worker thread"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    fn run_marks(threads: usize, chunks: usize) -> Vec<usize> {
+        let executor = ChunkedExecutor::new(threads);
+        let marks = Arc::new((0..chunks).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>());
+        let f = {
+            let marks = Arc::clone(&marks);
+            Arc::new(move |k: usize| {
+                marks[k].fetch_add(k + 1, Ordering::SeqCst);
+            })
+        };
+        executor.run_indexed(chunks, &f);
+        marks.iter().map(|m| m.load(Ordering::SeqCst)).collect()
+    }
+
+    #[test]
+    fn every_chunk_runs_exactly_once() {
+        for threads in [1, 2, 4] {
+            let marks = run_marks(threads, 103);
+            let expected: Vec<usize> = (1..=103).collect();
+            assert_eq!(marks, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let executor = ChunkedExecutor::new(0);
+        assert_eq!(executor.threads(), 1);
+    }
+
+    #[test]
+    fn zero_chunks_is_a_no_op() {
+        let executor = ChunkedExecutor::new(4);
+        executor.run_indexed(0, &Arc::new(|_| panic!("must not run")));
+    }
+
+    #[test]
+    fn chunks_actually_run_concurrently() {
+        // Two jobs that each wait for the other can only finish if they run
+        // on different workers.
+        let executor = ChunkedExecutor::new(2);
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let f = {
+            let barrier = Arc::clone(&barrier);
+            Arc::new(move |_k: usize| {
+                barrier.wait();
+            })
+        };
+        executor.run_indexed(2, &f);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_rounds() {
+        let executor = ChunkedExecutor::new(3);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for round in 0..5 {
+            let log = Arc::clone(&log);
+            let f = Arc::new(move |k: usize| {
+                log.lock().unwrap().push((round, k));
+            });
+            executor.run_indexed(4, &f);
+        }
+        assert_eq!(log.lock().unwrap().len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "node program panicked")]
+    fn worker_panics_surface_on_the_caller() {
+        let executor = ChunkedExecutor::new(2);
+        let f = Arc::new(|k: usize| {
+            if k == 5 {
+                panic!("bad chunk");
+            }
+        });
+        executor.run_indexed(8, &f);
+    }
+}

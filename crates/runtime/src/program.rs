@@ -1,0 +1,76 @@
+//! The node-program abstraction: one independent state machine per clique
+//! node.
+
+use crate::env::NodeEnv;
+
+/// What a node tells the engine after a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// The node wants to keep participating in future rounds.
+    Continue,
+    /// The node is done: its `on_round` will not be called again. Messages
+    /// it sent this round are still delivered; messages addressed to it in
+    /// later rounds are dropped (but still count against every budget).
+    Halt,
+}
+
+/// One clique node as an independent, message-driven state machine.
+///
+/// The engine owns a boxed `NodeProgram` per node, advances all of them in
+/// lock-step rounds, and routes the words they send. A program sees only its
+/// own state and its inbox — the signature makes cross-node peeking
+/// impossible, so the engine is free to run `on_round` calls on any thread
+/// in any order without changing the results.
+///
+/// `Send` is a supertrait because programs migrate across worker threads
+/// between rounds.
+pub trait NodeProgram: Send {
+    /// The per-node result extracted when the execution ends.
+    type Output;
+
+    /// Executes one synchronous round: read `env.inbox()`, update local
+    /// state, send messages for the next round.
+    fn on_round(&mut self, env: &mut NodeEnv<'_>) -> NodeStatus;
+
+    /// Consumes the program and yields its result after the engine stops.
+    fn finish(self: Box<Self>) -> Self::Output;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial program: broadcast the round number once, then halt.
+    struct Echo {
+        sent: bool,
+    }
+
+    impl NodeProgram for Echo {
+        type Output = bool;
+
+        fn on_round(&mut self, env: &mut NodeEnv<'_>) -> NodeStatus {
+            if self.sent {
+                return NodeStatus::Halt;
+            }
+            self.sent = true;
+            env.broadcast(env.round());
+            NodeStatus::Continue
+        }
+
+        fn finish(self: Box<Self>) -> bool {
+            self.sent
+        }
+    }
+
+    #[test]
+    fn programs_are_usable_as_trait_objects() {
+        let mut program: Box<dyn NodeProgram<Output = bool>> = Box::new(Echo { sent: false });
+        let mut outbox = Vec::new();
+        let mut env = NodeEnv::new(0, 3, 0, &[], &mut outbox);
+        assert_eq!(program.on_round(&mut env), NodeStatus::Continue);
+        let mut env = NodeEnv::new(0, 3, 1, &[], &mut outbox);
+        assert_eq!(program.on_round(&mut env), NodeStatus::Halt);
+        assert_eq!(outbox.len(), 2);
+        assert!(program.finish());
+    }
+}

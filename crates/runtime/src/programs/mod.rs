@@ -1,0 +1,18 @@
+//! Algorithms ported onto the engine as per-node programs.
+//!
+//! These are the message-passing counterparts of algorithms the workspace
+//! already runs against the centralized accounting simulator:
+//!
+//! * [`trial::TrialColoringProgram`] — the randomized propose/resolve list
+//!   coloring of `clique_coloring::baselines::trial`, two engine rounds per
+//!   phase;
+//! * [`luby::LubyMisProgram`] — Luby's MIS as in `cc_mis::luby`, three
+//!   engine rounds per phase (priorities, joins, leaves).
+//!
+//! Programs here depend only on plain adjacency lists and color/priority
+//! words, so `cc-runtime` stays graph-library-agnostic; the `cc-core` and
+//! `cc-mis` crates provide the adapters that build these programs from
+//! `CsrGraph`-based instances and interpret the outputs.
+
+pub mod luby;
+pub mod trial;

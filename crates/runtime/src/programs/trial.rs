@@ -1,0 +1,223 @@
+//! Randomized trial-and-retry list coloring as a node program.
+//!
+//! The protocol mirrors `clique_coloring::baselines::trial`: each phase is
+//! two engine rounds. In an even ("propose") round every uncolored node
+//! picks a uniformly random color from its remaining palette and sends it to
+//! its still-uncolored neighbors; in the following odd ("resolve") round a
+//! node keeps its proposal unless a *smaller-id* neighbor proposed the same
+//! color, announces the fixed color to its neighbors, and halts. Finalized
+//! colors arriving at the start of the next propose round are removed from
+//! the receivers' palettes, so the `p(v) > d(v)` list-coloring invariant
+//! keeps every palette non-empty.
+//!
+//! Round parity doubles as the message tag, so every message is a bare
+//! color word — no bits are spent on a type field.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::env::NodeEnv;
+use crate::program::{NodeProgram, NodeStatus};
+
+/// One node of the trial-coloring protocol.
+#[derive(Debug, Clone)]
+pub struct TrialColoringProgram {
+    /// All neighbors, sorted ascending.
+    neighbors: Vec<u32>,
+    /// `active[i]` is true while `neighbors[i]` is still uncolored.
+    active: Vec<bool>,
+    /// The node's palette, sorted ascending. Colors taken by neighbors are
+    /// tombstoned in `usable` rather than removed, so a removal is one
+    /// binary search instead of an O(palette) shift.
+    palette: Vec<u64>,
+    /// `usable[i]` is true while `palette[i]` is still available.
+    usable: Vec<bool>,
+    /// Number of true entries in `usable`.
+    usable_count: usize,
+    /// This phase's proposal, pending resolution.
+    proposal: Option<u64>,
+    /// The fixed color, once resolved.
+    color: Option<u64>,
+    rng: ChaCha8Rng,
+}
+
+impl TrialColoringProgram {
+    /// Creates the program for `node` with its adjacency and palette.
+    ///
+    /// `palette` must be the node's list-coloring palette with strictly more
+    /// colors than the node has neighbors. The per-node RNG is seeded from
+    /// `(seed, node)`, so an execution is fully determined by the seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the palette is not larger than the neighborhood.
+    pub fn new(node: u32, mut neighbors: Vec<u32>, mut palette: Vec<u64>, seed: u64) -> Self {
+        neighbors.sort_unstable();
+        neighbors.dedup();
+        palette.sort_unstable();
+        palette.dedup();
+        assert!(
+            palette.len() > neighbors.len(),
+            "node {node}: palette of {} colors for {} neighbors violates p(v) > d(v)",
+            palette.len(),
+            neighbors.len()
+        );
+        TrialColoringProgram {
+            active: vec![true; neighbors.len()],
+            neighbors,
+            usable: vec![true; palette.len()],
+            usable_count: palette.len(),
+            palette,
+            proposal: None,
+            color: None,
+            rng: ChaCha8Rng::seed_from_u64(seed ^ ((u64::from(node) << 32) | u64::from(node))),
+        }
+    }
+
+    fn remove_color(&mut self, color: u64) {
+        if let Ok(i) = self.palette.binary_search(&color) {
+            if self.usable[i] {
+                self.usable[i] = false;
+                self.usable_count -= 1;
+            }
+        }
+    }
+
+    /// The `k`-th (0-based) still-usable color.
+    fn usable_color(&self, k: usize) -> u64 {
+        let mut seen = 0;
+        for (i, &usable) in self.usable.iter().enumerate() {
+            if usable {
+                if seen == k {
+                    return self.palette[i];
+                }
+                seen += 1;
+            }
+        }
+        unreachable!("usable_count out of sync with usable flags")
+    }
+}
+
+impl NodeProgram for TrialColoringProgram {
+    type Output = Option<u64>;
+
+    fn on_round(&mut self, env: &mut NodeEnv<'_>) -> NodeStatus {
+        if env.round().is_multiple_of(2) {
+            // Propose round. The inbox holds colors finalized by neighbors
+            // in the previous resolve round: those neighbors are done, and
+            // their colors are off-limits.
+            for i in 0..env.inbox().len() {
+                let m = env.inbox()[i];
+                self.remove_color(m.word);
+                if let Ok(pos) = self.neighbors.binary_search(&m.src) {
+                    self.active[pos] = false;
+                }
+            }
+            let pick = self.rng.gen_range(0..self.usable_count);
+            let proposal = self.usable_color(pick);
+            self.proposal = Some(proposal);
+            for (pos, &u) in self.neighbors.iter().enumerate() {
+                if self.active[pos] {
+                    env.send(u, proposal);
+                }
+            }
+            NodeStatus::Continue
+        } else {
+            // Resolve round. The inbox holds the proposals of uncolored
+            // neighbors; ties are broken toward the smaller node id, exactly
+            // as in the centralized baseline.
+            let proposal = self.proposal.take().expect("resolve without a proposal");
+            let clash = env
+                .inbox()
+                .iter()
+                .any(|m| m.word == proposal && m.src < env.node());
+            if clash {
+                return NodeStatus::Continue;
+            }
+            self.color = Some(proposal);
+            for (pos, &u) in self.neighbors.iter().enumerate() {
+                if self.active[pos] {
+                    env.send(u, proposal);
+                }
+            }
+            NodeStatus::Halt
+        }
+    }
+
+    fn finish(self: Box<Self>) -> Option<u64> {
+        self.color
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig};
+    use crate::program::NodeProgram;
+    use cc_sim::ExecutionModel;
+
+    /// Builds trial programs for a graph given as symmetric adjacency lists,
+    /// with each node's palette being `0..=degree`.
+    fn programs(
+        adjacency: &[Vec<u32>],
+        seed: u64,
+    ) -> Vec<Box<dyn NodeProgram<Output = Option<u64>>>> {
+        adjacency
+            .iter()
+            .enumerate()
+            .map(|(i, neighbors)| {
+                let palette: Vec<u64> = (0..=neighbors.len() as u64).collect();
+                Box::new(TrialColoringProgram::new(
+                    i as u32,
+                    neighbors.clone(),
+                    palette,
+                    seed,
+                )) as Box<dyn NodeProgram<Output = Option<u64>>>
+            })
+            .collect()
+    }
+
+    fn cycle(n: usize) -> Vec<Vec<u32>> {
+        (0..n)
+            .map(|i| vec![((i + n - 1) % n) as u32, ((i + 1) % n) as u32])
+            .collect()
+    }
+
+    #[test]
+    fn colors_a_cycle_properly() {
+        let adjacency = cycle(30);
+        let outcome = Engine::new(EngineConfig::default())
+            .run(
+                ExecutionModel::congested_clique(30),
+                programs(&adjacency, 11),
+            )
+            .unwrap();
+        assert!(outcome.all_halted);
+        let colors: Vec<u64> = outcome.outputs.iter().map(|c| c.unwrap()).collect();
+        for (i, neighbors) in adjacency.iter().enumerate() {
+            for &u in neighbors {
+                assert_ne!(colors[i], colors[u as usize], "edge ({i}, {u})");
+            }
+            assert!(colors[i] <= 2);
+        }
+        assert!(outcome.report.within_limits());
+    }
+
+    #[test]
+    fn isolated_nodes_color_in_one_phase() {
+        let outcome = Engine::default()
+            .run(
+                ExecutionModel::congested_clique(3),
+                programs(&[vec![], vec![], vec![]], 0),
+            )
+            .unwrap();
+        assert_eq!(outcome.rounds, 2);
+        assert!(outcome.outputs.iter().all(|c| *c == Some(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "p(v) > d(v)")]
+    fn deficient_palettes_are_rejected() {
+        let _ = TrialColoringProgram::new(0, vec![1, 2], vec![5, 9], 1);
+    }
+}

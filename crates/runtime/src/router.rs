@@ -1,0 +1,401 @@
+//! Deterministic message delivery and model enforcement.
+//!
+//! Senders are partitioned into [`chunk_count`] contiguous chunks — a
+//! function of the clique size only, never of the thread count. During the
+//! parallel step phase each chunk validates, digests, and counting-sorts
+//! its own outgoing messages by destination into a chunk-local arena
+//! ([`ChunkBuffers`]); at the barrier the driving thread merges the chunks
+//! **in fixed chunk order** ([`merge_round`]): it folds chunk digests into
+//! the ledger, sums per-destination loads, records violations in canonical
+//! order, and charges the context. Next round, a receiver's inbox is the
+//! concatenation of its slices from every chunk arena in chunk order —
+//! i.e. ordered by sender id — so inbox contents, the ledger, and every
+//! violation are identical for any worker-thread count.
+//!
+//! This split keeps the per-message work (width checks, digest mixing, the
+//! destination sort) on the worker threads; the driver does only
+//! O(chunks · 𝔫) merge work per round.
+
+use cc_sim::error::{Violation, ViolationKind};
+use cc_sim::{ClusterContext, SimError};
+
+use crate::ledger::{message_mix, MessageLedger, RoundStats, StreamDigest};
+use crate::message::{bits_of, Message};
+
+/// The number of sender chunks for an 𝔫-node execution. Fixed by 𝔫 alone so
+/// that chunk digests — and therefore the ledger — are thread-invariant;
+/// 16 chunks keep the shared queue balanced for typical worker counts while
+/// bounding the per-receiver gather fan-in (every inbox is assembled from
+/// one slice per chunk).
+pub(crate) fn chunk_count(n: usize) -> usize {
+    n.clamp(1, 16)
+}
+
+/// The contiguous node range owned by chunk `k` of `chunks`.
+pub(crate) fn chunk_range(n: usize, chunks: usize, k: usize) -> std::ops::Range<usize> {
+    let q = n / chunks;
+    let r = n % chunks;
+    let start = k * q + k.min(r);
+    let len = q + usize::from(k < r);
+    start..(start + len).min(n)
+}
+
+/// One sender chunk's delivery state for one round: its messages grouped by
+/// destination, plus everything the driver needs to merge deterministically.
+#[derive(Debug)]
+pub(crate) struct ChunkBuffers {
+    /// This chunk's messages grouped by destination.
+    arena: Vec<Message>,
+    /// `index[d]..index[d+1]` is the arena range for destination `d`.
+    /// During the count phase, `index[d + 1]` temporarily holds the count
+    /// for `d`; [`ChunkBuffers::begin_scatter`] turns counts into offsets.
+    index: Vec<u32>,
+    /// Scratch write cursors for the counting sort.
+    cursors: Vec<u32>,
+    /// Messages counted so far this round.
+    messages: u64,
+    /// Digest over the chunk's message stream in generation order (sender
+    /// order, then send order).
+    digest: StreamDigest,
+    /// Largest single-sender outbox in this chunk.
+    max_send: usize,
+    /// Nodes of this chunk that are halted after the round.
+    halted: usize,
+    /// Senders exceeding the per-round bandwidth, in node order.
+    send_overflows: Vec<(u32, usize)>,
+    /// Too-wide messages `(sender, bits)`, in generation order.
+    wide_messages: Vec<(u32, u32)>,
+}
+
+impl ChunkBuffers {
+    pub(crate) fn new(n: usize) -> Self {
+        ChunkBuffers {
+            arena: Vec::new(),
+            index: vec![0; n + 1],
+            cursors: Vec::new(),
+            messages: 0,
+            digest: StreamDigest::new(),
+            max_send: 0,
+            halted: 0,
+            send_overflows: Vec::new(),
+            wide_messages: Vec::new(),
+        }
+    }
+
+    /// Clears the chunk for a new round, keeping allocations.
+    pub(crate) fn reset(&mut self) {
+        self.arena.clear();
+        self.index.fill(0);
+        self.messages = 0;
+        self.digest = StreamDigest::new();
+        self.max_send = 0;
+        self.halted = 0;
+        self.send_overflows.clear();
+        self.wide_messages.clear();
+    }
+
+    /// Notes one halted node of this chunk (for termination detection).
+    pub(crate) fn note_halted(&mut self) {
+        self.halted += 1;
+    }
+
+    /// Nodes of this chunk halted after the round.
+    pub(crate) fn halted(&self) -> usize {
+        self.halted
+    }
+
+    /// Folds one sender's outbox into the chunk's accounting: validates
+    /// widths, digests, counts per destination, and checks the send budget.
+    /// Must be called in ascending sender order; the messages themselves
+    /// are placed by [`ChunkBuffers::scatter_outbox`] after
+    /// [`ChunkBuffers::begin_scatter`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a message is addressed outside `0..n` — a bug in the
+    /// program, not a model violation.
+    pub(crate) fn count_outbox(
+        &mut self,
+        sender: u32,
+        outbox: &[Message],
+        round: u64,
+        bits_limit: u32,
+        bandwidth_limit: usize,
+    ) {
+        let n = self.index.len() - 1;
+        self.max_send = self.max_send.max(outbox.len());
+        if outbox.len() > bandwidth_limit {
+            self.send_overflows.push((sender, outbox.len()));
+        }
+        self.messages += outbox.len() as u64;
+        for m in outbox {
+            debug_assert_eq!(m.src, sender, "outbox message with forged sender");
+            assert!(
+                (m.dst as usize) < n,
+                "node {sender} sent to non-existent node {} (n = {n})",
+                m.dst
+            );
+            let bits = bits_of(m.word);
+            if bits > bits_limit {
+                self.wide_messages.push((sender, bits));
+            }
+            self.digest.fold(message_mix(round, m.src, m.dst, m.word));
+            self.index[m.dst as usize + 1] += 1;
+        }
+    }
+
+    /// Turns destination counts into offsets and prepares the arena for the
+    /// scatter pass.
+    pub(crate) fn begin_scatter(&mut self) {
+        let n = self.index.len() - 1;
+        for d in 0..n {
+            self.index[d + 1] += self.index[d];
+        }
+        self.cursors.clear();
+        self.cursors.extend_from_slice(&self.index[..n]);
+        self.arena.resize(
+            self.messages as usize,
+            Message {
+                src: 0,
+                dst: 0,
+                word: 0,
+            },
+        );
+    }
+
+    /// Places one sender's messages into their destination groups. Must be
+    /// called in the same (ascending-sender) order as
+    /// [`ChunkBuffers::count_outbox`].
+    pub(crate) fn scatter_outbox(&mut self, outbox: &[Message]) {
+        for m in outbox {
+            let cursor = &mut self.cursors[m.dst as usize];
+            self.arena[*cursor as usize] = *m;
+            *cursor += 1;
+        }
+    }
+
+    /// The messages this chunk delivers to destination `d` (valid after the
+    /// scatter pass), ordered by sender.
+    #[inline]
+    pub(crate) fn slice_for(&self, d: usize) -> &[Message] {
+        &self.arena[self.index[d] as usize..self.index[d + 1] as usize]
+    }
+
+    /// Messages this chunk delivers to `d` (count only).
+    #[inline]
+    fn count_for(&self, d: usize) -> usize {
+        (self.index[d + 1] - self.index[d]) as usize
+    }
+
+    fn messages(&self) -> u64 {
+        self.messages
+    }
+}
+
+/// The driver-side read-out of one merged round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RoundMerge {
+    pub messages: u64,
+    pub halted: usize,
+}
+
+/// Merges the sealed chunks of one round in fixed chunk order: folds
+/// digests into the ledger, records violations canonically, and charges the
+/// context. Rounds in which no node sends are free: synchronous rounds
+/// without communication are pure local computation, which the model does
+/// not charge.
+///
+/// # Errors
+///
+/// In strict mode, the first violated constraint aborts the execution with
+/// [`SimError::ConstraintViolated`].
+pub(crate) fn merge_round(
+    round: u64,
+    chunks: &[ChunkBuffers],
+    ctx: &mut ClusterContext,
+    ledger: &mut MessageLedger,
+    label: &str,
+    bits_limit: u32,
+) -> Result<RoundMerge, SimError> {
+    let n = chunks.first().map_or(0, |c| c.index.len() - 1);
+    let mut messages = 0u64;
+    let mut max_send = 0usize;
+    let mut halted = 0usize;
+    for chunk in chunks {
+        messages += chunk.messages();
+        max_send = max_send.max(chunk.max_send);
+        halted += chunk.halted();
+        ledger.fold_chunk(chunk.digest.value());
+    }
+    let mut max_recv = 0usize;
+    if messages > 0 {
+        ctx.charge_rounds(label, 1);
+        ctx.charge_communication(messages);
+        let limit = ctx.model().per_round_bandwidth_words;
+        for chunk in chunks {
+            for &(sender, bits) in &chunk.wide_messages {
+                ctx.record_violation(Violation {
+                    label: format!("{label}:r{round}:v{sender}"),
+                    kind: ViolationKind::MessageTooWide {
+                        bits,
+                        limit: bits_limit,
+                    },
+                })?;
+            }
+        }
+        for chunk in chunks {
+            for &(sender, words) in &chunk.send_overflows {
+                ctx.record_violation(Violation {
+                    label: format!("{label}:r{round}:v{sender}:send"),
+                    kind: ViolationKind::BandwidthExceeded { words, limit },
+                })?;
+            }
+        }
+        for d in 0..n {
+            let words: usize = chunks.iter().map(|c| c.count_for(d)).sum();
+            max_recv = max_recv.max(words);
+            if words > limit {
+                ctx.record_violation(Violation {
+                    label: format!("{label}:r{round}:v{d}:recv"),
+                    kind: ViolationKind::BandwidthExceeded { words, limit },
+                })?;
+            }
+        }
+    }
+    ledger.end_round(RoundStats {
+        round,
+        messages,
+        max_send_words: max_send,
+        max_recv_words: max_recv,
+    });
+    Ok(RoundMerge { messages, halted })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_sim::ExecutionModel;
+
+    fn msg(src: u32, dst: u32, word: u64) -> Message {
+        Message { src, dst, word }
+    }
+
+    #[test]
+    fn chunk_ranges_partition_the_nodes() {
+        for n in [1usize, 5, 63, 64, 65, 1000] {
+            let chunks = chunk_count(n);
+            let mut covered = 0;
+            for k in 0..chunks {
+                let range = chunk_range(n, chunks, k);
+                assert_eq!(range.start, covered, "n={n} k={k}");
+                covered = range.end;
+            }
+            assert_eq!(covered, n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn chunk_count_is_thread_independent_and_bounded() {
+        assert_eq!(chunk_count(1), 1);
+        assert_eq!(chunk_count(10), 10);
+        assert_eq!(chunk_count(16), 16);
+        assert_eq!(chunk_count(100_000), 16);
+    }
+
+    #[test]
+    fn seal_groups_messages_by_destination_in_sender_order() {
+        let mut chunk = ChunkBuffers::new(4);
+        let outboxes = [vec![msg(0, 2, 10), msg(0, 1, 11)], vec![msg(1, 2, 12)]];
+        for (sender, outbox) in outboxes.iter().enumerate() {
+            chunk.count_outbox(sender as u32, outbox, 0, 16, 100);
+        }
+        chunk.begin_scatter();
+        for outbox in &outboxes {
+            chunk.scatter_outbox(outbox);
+        }
+        assert_eq!(chunk.slice_for(2), &[msg(0, 2, 10), msg(1, 2, 12)]);
+        assert_eq!(chunk.slice_for(1), &[msg(0, 1, 11)]);
+        assert!(chunk.slice_for(0).is_empty());
+        assert_eq!(chunk.messages(), 3);
+    }
+
+    #[test]
+    fn reset_clears_state_for_reuse() {
+        let mut chunk = ChunkBuffers::new(3);
+        let outbox = [msg(0, 1, u64::MAX)];
+        chunk.count_outbox(0, &outbox, 0, 16, 0);
+        chunk.note_halted();
+        chunk.begin_scatter();
+        chunk.scatter_outbox(&outbox);
+        assert_eq!(chunk.wide_messages.len(), 1);
+        assert_eq!(chunk.send_overflows.len(), 1);
+        chunk.reset();
+        assert_eq!(chunk.messages(), 0);
+        assert_eq!(chunk.halted(), 0);
+        assert!(chunk.wide_messages.is_empty());
+        chunk.begin_scatter();
+        assert!(chunk.slice_for(1).is_empty());
+    }
+
+    #[test]
+    fn merge_charges_rounds_and_finds_violations() {
+        let n = 4;
+        let mut ctx = ClusterContext::new(ExecutionModel::congested_clique(n));
+        let mut ledger = MessageLedger::new();
+        let limit = ctx.model().per_round_bandwidth_words;
+        let mut chunk = ChunkBuffers::new(n);
+        // Node 0 floods node 1 past the budget; also one too-wide word.
+        let flood: Vec<Message> = (0..=limit).map(|_| msg(0, 1, 1)).collect();
+        let wide = [msg(2, 3, u64::MAX)];
+        chunk.count_outbox(0, &flood, 3, 32, limit);
+        chunk.count_outbox(2, &wide, 3, 32, limit);
+        chunk.begin_scatter();
+        chunk.scatter_outbox(&flood);
+        chunk.scatter_outbox(&wide);
+        let merge = merge_round(3, &[chunk], &mut ctx, &mut ledger, "test", 32).unwrap();
+        assert_eq!(merge.messages as usize, limit + 2);
+        assert_eq!(ctx.rounds(), 1);
+        // Wide word, send overflow, receive overflow — in that canonical
+        // order.
+        assert_eq!(ctx.violations().len(), 3);
+        assert!(matches!(
+            ctx.violations()[0].kind,
+            ViolationKind::MessageTooWide { .. }
+        ));
+        assert!(ctx.violations()[1].label.contains("v0:send"));
+        assert!(ctx.violations()[2].label.contains("v1:recv"));
+        assert_eq!(ledger.rounds()[0].max_recv_words, limit + 1);
+    }
+
+    #[test]
+    fn empty_rounds_are_free() {
+        let mut ctx = ClusterContext::strict(ExecutionModel::congested_clique(2));
+        let mut ledger = MessageLedger::new();
+        let mut chunk = ChunkBuffers::new(2);
+        chunk.begin_scatter();
+        let merge = merge_round(0, &[chunk], &mut ctx, &mut ledger, "test", 16).unwrap();
+        assert_eq!(merge.messages, 0);
+        assert_eq!(ctx.rounds(), 0);
+        assert_eq!(ledger.rounds().len(), 1);
+    }
+
+    #[test]
+    fn strict_mode_aborts_on_wide_words() {
+        let mut ctx = ClusterContext::strict(ExecutionModel::congested_clique(2));
+        let mut ledger = MessageLedger::new();
+        let mut chunk = ChunkBuffers::new(2);
+        let outbox = [msg(0, 1, u64::MAX)];
+        chunk.count_outbox(0, &outbox, 0, 16, 100);
+        chunk.begin_scatter();
+        chunk.scatter_outbox(&outbox);
+        let err = merge_round(0, &[chunk], &mut ctx, &mut ledger, "test", 16).unwrap_err();
+        assert!(matches!(err, SimError::ConstraintViolated(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-existent node")]
+    fn out_of_range_destination_panics() {
+        let mut chunk = ChunkBuffers::new(2);
+        chunk.count_outbox(0, &[msg(0, 7, 1)], 0, 16, 100);
+    }
+}

@@ -161,10 +161,24 @@ impl ClusterContext {
         Ok(())
     }
 
+    /// Records a constraint violation observed by an external execution
+    /// backend (e.g. the `cc-runtime` message-passing engine, which checks
+    /// message widths and per-node bandwidth at delivery time and reports
+    /// through this context's ledger).
+    ///
+    /// # Errors
+    ///
+    /// In strict mode, returns [`SimError::ConstraintViolated`] carrying the
+    /// violation instead of recording it.
+    pub fn record_violation(&mut self, violation: Violation) -> Result<(), SimError> {
+        self.record(violation)
+    }
+
     /// Creates a child context with the same model and strictness but fresh
     /// ledgers, for work that runs *in parallel* with other children (e.g.
     /// the recursive coloring of sibling bins). Combine the children back
     /// with [`ClusterContext::join_parallel`].
+    #[must_use = "fork returns a child context without altering the parent; join it back with join_parallel"]
     pub fn fork(&self) -> ClusterContext {
         ClusterContext {
             model: self.model.clone(),

@@ -13,7 +13,12 @@ pub struct Violation {
 }
 
 /// The kinds of constraint the simulator checks.
+///
+/// Marked `#[non_exhaustive]`: new execution backends (such as `cc-runtime`)
+/// add constraint kinds over time, and downstream matches must stay valid
+/// when they do.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ViolationKind {
     /// A single machine was asked to hold more words than its local space 𝔰.
     LocalSpaceExceeded {
@@ -37,6 +42,15 @@ pub enum ViolationKind {
         /// The per-round limit.
         limit: usize,
     },
+    /// A single message carried more than the O(log 𝔫) bits one word may
+    /// hold. Checked by the message-passing engine (`cc-runtime`) at
+    /// delivery time.
+    MessageTooWide {
+        /// Significant bits in the offending word.
+        bits: u32,
+        /// The per-message width limit in bits.
+        limit: u32,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -57,12 +71,18 @@ impl std::fmt::Display for Violation {
                 "[{}] per-round bandwidth exceeded: {} words > limit {}",
                 self.label, words, limit
             ),
+            ViolationKind::MessageTooWide { bits, limit } => write!(
+                f,
+                "[{}] message too wide: {} bits > limit of {} bits per word",
+                self.label, bits, limit
+            ),
         }
     }
 }
 
 /// Error returned by simulator operations in strict mode.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SimError {
     /// A model constraint was violated.
     ConstraintViolated(Violation),

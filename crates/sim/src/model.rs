@@ -50,6 +50,7 @@ impl ExecutionModel {
     /// The CONGESTED CLIQUE on an 𝔫-node input graph: 𝔫 machines (one per
     /// node), O(𝔫) words of local space each (so Θ(𝔫²) total), and O(𝔫) words
     /// of per-round bandwidth via Lenzen routing.
+    #[must_use]
     pub fn congested_clique(input_nodes: usize) -> Self {
         let n = input_nodes.max(1);
         let local = BIG_O_SLACK * n;
@@ -66,6 +67,7 @@ impl ExecutionModel {
     /// Linear-space MPC: machines with O(𝔫) words each and the given total
     /// space budget (the paper's Theorem 1.2 uses O(𝔫Δ) total space for list
     /// coloring, Theorem 1.3 uses O(𝔪+𝔫) for (Δ+1)-coloring).
+    #[must_use]
     pub fn mpc_linear(input_nodes: usize, total_space_words: usize) -> Self {
         let n = input_nodes.max(1);
         let local = BIG_O_SLACK * n;
@@ -86,6 +88,7 @@ impl ExecutionModel {
     /// # Panics
     ///
     /// Panics unless `0 < epsilon < 1`.
+    #[must_use]
     pub fn mpc_low_space(input_nodes: usize, epsilon: f64, total_space_words: usize) -> Self {
         assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0, 1)");
         let n = input_nodes.max(1) as f64;

@@ -22,6 +22,7 @@ pub use cc_derand as derand;
 pub use cc_graph as graph;
 pub use cc_hash as hash;
 pub use cc_mis as mis;
+pub use cc_runtime as runtime;
 pub use cc_sim as sim;
 pub use clique_coloring as coloring;
 
@@ -31,6 +32,7 @@ pub mod prelude {
         builder::GraphBuilder, coloring::Coloring, csr::CsrGraph, generators,
         instance::ListColoringInstance, palette::Palette, Color, NodeId,
     };
+    pub use cc_runtime::{Engine, EngineConfig, EngineOutcome, NodeEnv, NodeProgram, NodeStatus};
     pub use cc_sim::{model::ExecutionModel, report::ExecutionReport};
     pub use clique_coloring::{
         baselines,

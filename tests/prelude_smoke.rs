@@ -9,13 +9,14 @@
 #[allow(unused_imports)]
 use congested_clique_coloring::prelude::{
     baselines, generators, Color, ColorReduce, ColorReduceConfig, ColorReduceOutcome, Coloring,
-    CsrGraph, ExecutionModel, ExecutionReport, GraphBuilder, ListColoringInstance,
-    LowSpaceColorReduce, LowSpaceConfig, NodeId, Palette,
+    CsrGraph, Engine, EngineConfig, EngineOutcome, ExecutionModel, ExecutionReport, GraphBuilder,
+    ListColoringInstance, LowSpaceColorReduce, LowSpaceConfig, NodeEnv, NodeId, NodeProgram,
+    NodeStatus, Palette,
 };
 
 // The top-level crate-alias re-exports.
 #[allow(unused_imports)]
-use congested_clique_coloring::{coloring, derand, graph, hash, mis, sim};
+use congested_clique_coloring::{coloring, derand, graph, hash, mis, runtime, sim};
 
 #[test]
 fn prelude_types_are_the_workspace_types() {

@@ -1,0 +1,330 @@
+//! Offline, vendored stand-in for the crates.io `threadpool` crate exposing
+//! the subset of its 1.8 API this workspace uses.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! classic shared-queue thread pool under the upstream name: a fixed set of
+//! worker threads popping boxed jobs off a mutex-protected deque. The
+//! differences from the real crate are deliberate simplifications: there is
+//! no `set_num_threads` resizing, no per-pool thread stack-size control, and
+//! `Builder` supports only the name and thread-count knobs.
+//!
+//! Scheduling is chunk-greedy rather than work-stealing: whichever worker
+//! wakes first takes the next queued job, so many small jobs balance load
+//! across workers automatically. Callers that need deterministic *results*
+//! must make job effects commutative (for example by writing to disjoint
+//! slots and merging in a fixed order afterwards) — that is exactly how
+//! `cc-runtime` uses this pool.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between pool handles and worker threads.
+struct Shared {
+    queue: Mutex<QueueState>,
+    /// Signalled when a job is pushed or the pool shuts down.
+    job_available: Condvar,
+    /// Signalled when a worker finishes a job (for `join`).
+    job_done: Condvar,
+    /// Number of live pool handles (clones of `ThreadPool`).
+    handles: AtomicUsize,
+    /// Number of jobs that panicked.
+    panics: AtomicUsize,
+    /// Number of worker threads.
+    max_count: usize,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    /// Jobs currently executing on some worker.
+    active: usize,
+    /// Set when the last pool handle is dropped.
+    shutdown: bool,
+}
+
+/// A fixed-size pool of worker threads executing boxed jobs from a shared
+/// queue.
+///
+/// Cloning the pool produces another handle to the same workers. When the
+/// last handle is dropped the workers finish the queued jobs and exit; the
+/// threads are detached, matching the upstream crate.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `num_threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads` is zero.
+    pub fn new(num_threads: usize) -> ThreadPool {
+        Builder::new().num_threads(num_threads).build()
+    }
+
+    /// Creates a pool whose worker threads carry `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads` is zero.
+    pub fn with_name(name: String, num_threads: usize) -> ThreadPool {
+        Builder::new()
+            .thread_name(name)
+            .num_threads(num_threads)
+            .build()
+    }
+
+    /// Queues `job` for execution on some worker thread.
+    pub fn execute<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let mut state = self.shared.queue.lock().unwrap();
+        state.jobs.push_back(Box::new(job));
+        drop(state);
+        self.shared.job_available.notify_one();
+    }
+
+    /// Blocks until every queued job has finished executing.
+    pub fn join(&self) {
+        let mut state = self.shared.queue.lock().unwrap();
+        while !state.jobs.is_empty() || state.active > 0 {
+            state = self.shared.job_done.wait(state).unwrap();
+        }
+    }
+
+    /// Number of jobs currently executing.
+    pub fn active_count(&self) -> usize {
+        self.shared.queue.lock().unwrap().active
+    }
+
+    /// Number of jobs queued but not yet started.
+    pub fn queued_count(&self) -> usize {
+        self.shared.queue.lock().unwrap().jobs.len()
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn max_count(&self) -> usize {
+        self.shared.max_count
+    }
+
+    /// Number of jobs that panicked so far.
+    pub fn panic_count(&self) -> usize {
+        self.shared.panics.load(Ordering::SeqCst)
+    }
+}
+
+impl Clone for ThreadPool {
+    fn clone(&self) -> Self {
+        self.shared.handles.fetch_add(1, Ordering::SeqCst);
+        ThreadPool {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        if self.shared.handles.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let mut state = self.shared.queue.lock().unwrap();
+            state.shutdown = true;
+            drop(state);
+            self.shared.job_available.notify_all();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("max_count", &self.shared.max_count)
+            .field("queued_count", &self.queued_count())
+            .field("active_count", &self.active_count())
+            .finish()
+    }
+}
+
+/// Configures and builds a [`ThreadPool`].
+#[derive(Debug, Clone, Default)]
+pub struct Builder {
+    num_threads: Option<usize>,
+    thread_name: Option<String>,
+}
+
+impl Builder {
+    /// A builder with all knobs unset.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Sets the number of worker threads (default: available parallelism).
+    pub fn num_threads(mut self, num_threads: usize) -> Builder {
+        self.num_threads = Some(num_threads);
+        self
+    }
+
+    /// Sets the name of the worker threads.
+    pub fn thread_name(mut self, name: String) -> Builder {
+        self.thread_name = Some(name);
+        self
+    }
+
+    /// Builds the pool and spawns its workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured thread count is zero.
+    pub fn build(self) -> ThreadPool {
+        let num_threads = self.num_threads.unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        assert!(num_threads > 0, "a thread pool needs at least one thread");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                active: 0,
+                shutdown: false,
+            }),
+            job_available: Condvar::new(),
+            job_done: Condvar::new(),
+            handles: AtomicUsize::new(1),
+            panics: AtomicUsize::new(0),
+            max_count: num_threads,
+        });
+        for i in 0..num_threads {
+            let shared = Arc::clone(&shared);
+            let mut builder = thread::Builder::new();
+            if let Some(name) = &self.thread_name {
+                builder = builder.name(format!("{name}-{i}"));
+            }
+            builder
+                .spawn(move || worker_loop(&shared))
+                .expect("failed to spawn pool worker");
+        }
+        ThreadPool { shared }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    state.active += 1;
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.job_available.wait(state).unwrap();
+            }
+        };
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            shared.panics.fetch_add(1, Ordering::SeqCst);
+        }
+        let mut state = shared.queue.lock().unwrap();
+        state.active -= 1;
+        drop(state);
+        shared.job_done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for i in 0..100u64 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(i, Ordering::SeqCst);
+            });
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::SeqCst), (0..100).sum::<u64>());
+        assert_eq!(pool.active_count(), 0);
+        assert_eq!(pool.queued_count(), 0);
+        assert_eq!(pool.max_count(), 4);
+    }
+
+    #[test]
+    fn join_with_no_jobs_returns_immediately() {
+        let pool = ThreadPool::new(2);
+        pool.join();
+    }
+
+    #[test]
+    fn jobs_run_concurrently_across_workers() {
+        // Two jobs that each wait for the other can only finish if they run
+        // on different workers.
+        let pool = ThreadPool::new(2);
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        for _ in 0..2 {
+            let barrier = Arc::clone(&barrier);
+            pool.execute(move || {
+                barrier.wait();
+            });
+        }
+        pool.join();
+    }
+
+    #[test]
+    fn panicking_jobs_are_counted_and_do_not_kill_the_pool() {
+        let pool = ThreadPool::new(1);
+        pool.execute(|| panic!("boom"));
+        pool.join();
+        assert_eq!(pool.panic_count(), 1);
+        let ran = Arc::new(AtomicU64::new(0));
+        let ran2 = Arc::clone(&ran);
+        pool.execute(move || {
+            ran2.store(1, Ordering::SeqCst);
+        });
+        pool.join();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn clone_shares_the_same_workers() {
+        let pool = ThreadPool::new(2);
+        let clone = pool.clone();
+        assert_eq!(clone.max_count(), 2);
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&counter);
+        clone.execute(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn with_name_names_threads() {
+        let pool = ThreadPool::with_name("cc-runtime".into(), 1);
+        let name = Arc::new(Mutex::new(String::new()));
+        let n = Arc::clone(&name);
+        pool.execute(move || {
+            *n.lock().unwrap() = thread::current().name().unwrap_or("").to_string();
+        });
+        pool.join();
+        assert!(name.lock().unwrap().starts_with("cc-runtime"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_is_rejected() {
+        let _ = ThreadPool::new(0);
+    }
+}
