@@ -1,0 +1,72 @@
+//! Criterion microbenchmark for the columnar message plane itself: a
+//! fixed-fanout chatter program whose per-round logic is trivial, so the
+//! measured time is dominated by the router (staging, counting sort,
+//! digest, delivery) rather than algorithm work. Reported per (n, threads);
+//! divide by `rounds * n * FANOUT` for ns/message.
+
+use cc_runtime::{Engine, EngineConfig, NodeEnv, NodeProgram, NodeStatus};
+use cc_sim::ExecutionModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const FANOUT: usize = 16;
+const ROUNDS: u64 = 8;
+
+/// Sends one word to a fixed pseudo-random set of peers each round and
+/// folds everything received into a checksum.
+struct Blast {
+    peers: Vec<u32>,
+    checksum: u64,
+}
+
+impl NodeProgram for Blast {
+    type Output = u64;
+
+    fn on_round(&mut self, env: &mut NodeEnv<'_>) -> NodeStatus {
+        for m in env.inbox() {
+            self.checksum = self.checksum.wrapping_add(m.word ^ u64::from(m.src));
+        }
+        if env.round() >= ROUNDS {
+            return NodeStatus::Halt;
+        }
+        env.send_slice(&self.peers, env.round() & 0x3ff);
+        NodeStatus::Continue
+    }
+
+    fn finish(self: Box<Self>) -> u64 {
+        self.checksum
+    }
+}
+
+fn programs(n: usize) -> Vec<Box<dyn NodeProgram<Output = u64>>> {
+    (0..n)
+        .map(|i| {
+            let peers: Vec<u32> = (1..=FANOUT).map(|d| ((i + d * 31) % n) as u32).collect();
+            Box::new(Blast { peers, checksum: 0 }) as _
+        })
+        .collect()
+}
+
+fn bench_router(c: &mut Criterion) {
+    let mut group = c.benchmark_group("message_plane");
+    group.sample_size(10);
+    for n in [256usize, 512] {
+        let model = ExecutionModel::congested_clique(n);
+        for threads in [1usize, 4] {
+            group.bench_function(format!("blast_n{n}_t{threads}"), |b| {
+                let engine = Engine::new(EngineConfig::with_threads(threads));
+                b.iter(|| {
+                    let outcome = engine.run(model.clone(), programs(n)).unwrap();
+                    assert_eq!(
+                        outcome.ledger.total_messages(),
+                        ROUNDS * (n * FANOUT) as u64
+                    );
+                    outcome.ledger.digest()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_router);
+criterion_main!(benches);

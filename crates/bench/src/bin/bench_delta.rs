@@ -1,0 +1,66 @@
+//! Prints the message-plane perf delta between two bench records (the
+//! committed baseline and a fresh `BENCH_PR3.json`), so the perf trajectory
+//! is machine-readable in CI logs. Informational only: always exits 0 —
+//! wall-clock on shared runners is too noisy to gate on.
+//!
+//! Usage: `bench_delta BASELINE.json CURRENT.json`
+
+use std::process::ExitCode;
+
+/// Pulls `"key": <number>` out of the flat bench-record JSON.
+fn field(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = &json[json.find(&needle)? + needle.len()..];
+    let value: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    value.parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, baseline_path, current_path] = &args[..] else {
+        eprintln!("usage: bench_delta BASELINE.json CURRENT.json");
+        return ExitCode::SUCCESS;
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("bench_delta: could not read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(current)) = (read(baseline_path), read(current_path)) else {
+        return ExitCode::SUCCESS;
+    };
+    let (Some(before), Some(after)) = (
+        field(&baseline, "ns_per_msg"),
+        field(&current, "ns_per_msg"),
+    ) else {
+        eprintln!("bench_delta: records missing ns_per_msg");
+        return ExitCode::SUCCESS;
+    };
+    let n = field(&current, "n").unwrap_or(0.0);
+    let cpus = field(&current, "host_cpus").unwrap_or(0.0);
+    let speedup = before / after.max(f64::MIN_POSITIVE);
+    println!(
+        "message plane @ n={n:.0} ({cpus:.0} CPU host): {before:.1} ns/msg (baseline) -> \
+         {after:.1} ns/msg = {speedup:.2}x {}",
+        if speedup >= 1.0 { "faster" } else { "SLOWER" }
+    );
+    if let (Some(route), Some(step), Some(check)) = (
+        field(&current, "route_ns"),
+        field(&current, "step_ns"),
+        field(&current, "check_ns"),
+    ) {
+        println!(
+            "  phase breakdown: route {:.0}us, step {:.0}us, check {:.0}us",
+            route / 1e3,
+            step / 1e3,
+            check / 1e3
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -10,6 +10,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut threads: Vec<usize> = cc_bench::experiments::e9_engine::DEFAULT_THREADS.to_vec();
     let mut dump: Option<PathBuf> = None;
+    let mut bench_json: Option<PathBuf> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -25,8 +26,17 @@ fn main() {
                 dump = Some(PathBuf::from(args.get(i + 1).expect("--dump needs a path")));
                 i += 2;
             }
+            "--bench-json" => {
+                bench_json = Some(PathBuf::from(
+                    args.get(i + 1).expect("--bench-json needs a path"),
+                ));
+                i += 2;
+            }
             _ => i += 1,
         }
     }
     cc_bench::experiments::e9_engine::run_with(scale, &threads, dump.as_deref());
+    if let Some(path) = bench_json {
+        cc_bench::experiments::e9_engine::write_bench_record(&path);
+    }
 }

@@ -1,7 +1,13 @@
-//! Runs every experiment (E1–E9) in sequence. Pass --quick for a fast run.
+//! Runs every experiment (E1–E9) in sequence. Pass --quick for a fast run;
+//! pass --dump to also write the tracked message-plane benchmark record to
+//! `BENCH_PR3.json` (E9 ns/msg, engine rounds, host CPUs) so CI can archive
+//! it and diff it against the committed baseline.
+
+use std::path::Path;
 
 fn main() {
     let scale = cc_bench::Scale::from_args();
+    let dump = std::env::args().any(|a| a == "--dump");
     println!("running all experiments at {scale:?} scale");
     cc_bench::experiments::e1_rounds::run(scale);
     cc_bench::experiments::e2_space::run(scale);
@@ -12,4 +18,7 @@ fn main() {
     cc_bench::experiments::e7_comparison::run(scale);
     cc_bench::experiments::e8_ablation::run(scale);
     cc_bench::experiments::e9_engine::run(scale);
+    if dump {
+        cc_bench::experiments::e9_engine::write_bench_record(Path::new("BENCH_PR3.json"));
+    }
 }

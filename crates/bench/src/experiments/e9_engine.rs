@@ -48,9 +48,11 @@ pub fn run(scale: Scale) {
 /// thread counts — the determinism guarantee is part of what this
 /// experiment verifies.
 pub fn run_with(scale: Scale, threads: &[usize], dump: Option<&Path>) {
+    // BENCH_N (512) is included at both scales so the table's before/after
+    // ns/msg column covers the size the tracked benchmark record uses.
     let sizes = match scale {
-        Scale::Quick => vec![200, 400],
-        Scale::Full => vec![400, 1600, 3000],
+        Scale::Quick => vec![200, 400, BENCH_N],
+        Scale::Full => vec![400, BENCH_N, 1600, 3000],
     };
     let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
     println!(
@@ -67,9 +69,21 @@ pub fn run_with(scale: Scale, threads: &[usize], dump: Option<&Path>) {
         "rounds",
         "words",
         "wall (ms)",
+        "ns/msg",
+        "ns/msg @PR2",
         "speedup",
         "in-model",
     ]);
+    // On a 1-CPU host the engine's thread counts only time-share, so the
+    // speedup column is honest but flat; label it so readers do not
+    // misread it as a parallel-scaling result.
+    let speedup_cell = |ratio: f64| {
+        if host_cpus == 1 {
+            format!("{ratio:.2} (serial host)")
+        } else {
+            format!("{ratio:.2}")
+        }
+    };
     let mut records = Vec::new();
     let mut dump_lines: Vec<String> = Vec::new();
     for n in sizes {
@@ -99,6 +113,8 @@ pub fn run_with(scale: Scale, threads: &[usize], dump: Option<&Path>) {
             central.report.rounds.to_string(),
             central.report.communication_words.to_string(),
             format!("{central_ms:.1}"),
+            "-".into(),
+            "-".into(),
             "1.00".into(),
             yes_no(central.report.within_limits()),
         ]);
@@ -138,6 +154,7 @@ pub fn run_with(scale: Scale, threads: &[usize], dump: Option<&Path>) {
                     "engine trial ledger differs between thread counts"
                 );
             }
+            let ns_per_msg = ms * 1e6 / out.ledger.total_messages().max(1) as f64;
             table.row([
                 label.clone(),
                 "trial-coloring".into(),
@@ -146,7 +163,9 @@ pub fn run_with(scale: Scale, threads: &[usize], dump: Option<&Path>) {
                 out.outcome.report.rounds.to_string(),
                 out.outcome.report.communication_words.to_string(),
                 format!("{ms:.1}"),
-                format!("{:.2}", central_ms / ms),
+                format!("{ns_per_msg:.0}"),
+                pr2_cell("trial", n, t),
+                speedup_cell(central_ms / ms),
                 yes_no(out.outcome.report.within_limits()),
             ]);
             records.push(
@@ -161,10 +180,10 @@ pub fn run_with(scale: Scale, threads: &[usize], dump: Option<&Path>) {
                 .with_extra("host_cpus", host_cpus as f64)
                 .with_extra("wall_ms", ms)
                 .with_extra("speedup_vs_centralized", central_ms / ms)
-                .with_extra(
-                    "ns_per_message",
-                    ms * 1e6 / out.ledger.total_messages().max(1) as f64,
-                )
+                .with_extra("ns_per_message", ns_per_msg)
+                .with_extra("route_ns", out.timings.route_ns as f64)
+                .with_extra("step_ns", out.timings.step_ns as f64)
+                .with_extra("check_ns", out.timings.check_ns as f64)
                 .with_extra("engine_rounds", out.engine_rounds as f64),
             );
             if reference.is_none() {
@@ -192,6 +211,8 @@ pub fn run_with(scale: Scale, threads: &[usize], dump: Option<&Path>) {
             central_report.rounds.to_string(),
             central_report.communication_words.to_string(),
             format!("{central_mis_ms:.1}"),
+            "-".into(),
+            "-".into(),
             "1.00".into(),
             yes_no(central_report.within_limits()),
         ]);
@@ -223,6 +244,7 @@ pub fn run_with(scale: Scale, threads: &[usize], dump: Option<&Path>) {
                     "engine MIS ledger differs between thread counts"
                 );
             }
+            let ns_per_msg = ms * 1e6 / out.ledger.total_messages().max(1) as f64;
             table.row([
                 label.clone(),
                 "luby-mis".into(),
@@ -231,7 +253,9 @@ pub fn run_with(scale: Scale, threads: &[usize], dump: Option<&Path>) {
                 out.report.rounds.to_string(),
                 out.report.communication_words.to_string(),
                 format!("{ms:.1}"),
-                format!("{:.2}", central_mis_ms / ms),
+                format!("{ns_per_msg:.0}"),
+                pr2_cell("luby", n, t),
+                speedup_cell(central_mis_ms / ms),
                 yes_no(out.report.within_limits()),
             ]);
             records.push(
@@ -246,10 +270,10 @@ pub fn run_with(scale: Scale, threads: &[usize], dump: Option<&Path>) {
                 .with_extra("host_cpus", host_cpus as f64)
                 .with_extra("wall_ms", ms)
                 .with_extra("speedup_vs_centralized", central_mis_ms / ms)
-                .with_extra(
-                    "ns_per_message",
-                    ms * 1e6 / out.ledger.total_messages().max(1) as f64,
-                )
+                .with_extra("ns_per_message", ns_per_msg)
+                .with_extra("route_ns", out.timings.route_ns as f64)
+                .with_extra("step_ns", out.timings.step_ns as f64)
+                .with_extra("check_ns", out.timings.check_ns as f64)
                 .with_extra("phases", out.result.phases as f64),
             );
             if mis_reference.is_none() {
@@ -278,4 +302,122 @@ pub fn run_with(scale: Scale, threads: &[usize], dump: Option<&Path>) {
 
 fn yes_no(b: bool) -> String {
     if b { "yes" } else { "NO" }.to_string()
+}
+
+/// ns/msg measured at the PR 2 router (pre-columnar, `Vec<Message>`
+/// arenas) on the reference 1-CPU dev host, single worker thread — the
+/// "before" of the table's before/after column. Rows without a recorded
+/// baseline show "-".
+fn pr2_ns_per_msg(algorithm: &str, n: usize, threads: usize) -> Option<f64> {
+    if threads != 1 {
+        return None;
+    }
+    match (algorithm, n) {
+        ("trial", 200) => Some(99.8),
+        ("trial", 400) => Some(102.8),
+        ("trial", BENCH_N) => Some(71.4),
+        ("luby", 200) => Some(78.3),
+        ("luby", 400) => Some(88.8),
+        _ => None,
+    }
+}
+
+fn pr2_cell(algorithm: &str, n: usize, threads: usize) -> String {
+    pr2_ns_per_msg(algorithm, n, threads).map_or_else(|| "-".to_string(), |v| format!("{v:.0}"))
+}
+
+/// The instance size used for the tracked message-plane benchmark record.
+pub const BENCH_N: usize = 512;
+
+/// One tracked measurement of the engine message plane, serialized to
+/// `BENCH_PR3.json` so CI can diff the perf trajectory across PRs.
+#[derive(Debug, Clone)]
+pub struct PlaneBenchRecord {
+    /// Nodes in the benched instance.
+    pub n: usize,
+    /// Host CPU count (1 means the speedup column is time-sharing).
+    pub host_cpus: usize,
+    /// Engine rounds executed (barriers passed).
+    pub engine_rounds: u64,
+    /// Messages the engine delivered.
+    pub total_messages: u64,
+    /// Wall-clock of the best run, in milliseconds.
+    pub wall_ms: f64,
+    /// Wall-clock per delivered message, in nanoseconds (best of 3 runs).
+    pub ns_per_msg: f64,
+    /// Per-phase breakdown of the best run, in nanoseconds:
+    /// (route, step, check). Zero when the engine does not report timings.
+    pub phase_ns: (u64, u64, u64),
+}
+
+impl PlaneBenchRecord {
+    /// Serializes the record as a single flat JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"engine-trial-coloring\",\n  \"n\": {},\n  \
+             \"host_cpus\": {},\n  \"engine_rounds\": {},\n  \
+             \"total_messages\": {},\n  \"wall_ms\": {:.3},\n  \
+             \"ns_per_msg\": {:.2},\n  \"route_ns\": {},\n  \"step_ns\": {},\n  \
+             \"check_ns\": {}\n}}\n",
+            self.n,
+            self.host_cpus,
+            self.engine_rounds,
+            self.total_messages,
+            self.wall_ms,
+            self.ns_per_msg,
+            self.phase_ns.0,
+            self.phase_ns.1,
+            self.phase_ns.2,
+        )
+    }
+}
+
+/// Benchmarks the message plane on trial coloring at [`BENCH_N`] nodes
+/// (single worker thread, best of three runs) and returns the record.
+pub fn bench_message_plane() -> PlaneBenchRecord {
+    let n = BENCH_N;
+    let graph = generators::gnp(n, 16.0 / n as f64, 77).expect("bench graph");
+    let instance = ListColoringInstance::delta_plus_one(&graph).expect("bench instance");
+    let model = ExecutionModel::congested_clique(n);
+    let runner = EngineTrialColoring::default();
+    let mut best: Option<(
+        f64,
+        clique_coloring::baselines::engine_trial::EngineTrialOutcome,
+    )> = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let out = runner.run(&instance, model.clone()).expect("bench run");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        if best.as_ref().is_none_or(|(b, _)| ms < *b) {
+            best = Some((ms, out));
+        }
+    }
+    let (wall_ms, out) = best.expect("three runs measured");
+    PlaneBenchRecord {
+        n,
+        host_cpus: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        engine_rounds: out.engine_rounds,
+        total_messages: out.ledger.total_messages(),
+        wall_ms,
+        ns_per_msg: wall_ms * 1e6 / out.ledger.total_messages().max(1) as f64,
+        phase_ns: (
+            out.timings.route_ns,
+            out.timings.step_ns,
+            out.timings.check_ns,
+        ),
+    }
+}
+
+/// Runs [`bench_message_plane`] and writes the record to `path`.
+pub fn write_bench_record(path: &Path) {
+    let record = bench_message_plane();
+    match std::fs::write(path, record.to_json()) {
+        Ok(()) => println!(
+            "wrote message-plane bench record to {} ({:.1} ns/msg over {} messages)",
+            path.display(),
+            record.ns_per_msg,
+            record.total_messages
+        ),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
 }

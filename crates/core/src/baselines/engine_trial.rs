@@ -13,7 +13,7 @@ use cc_graph::coloring::Coloring;
 use cc_graph::instance::ListColoringInstance;
 use cc_graph::{Color, NodeId};
 use cc_runtime::programs::trial::TrialColoringProgram;
-use cc_runtime::{Engine, EngineConfig, MessageLedger, NodeProgram};
+use cc_runtime::{Engine, EngineConfig, MessageLedger, NodeProgram, PhaseTimings};
 use cc_sim::ExecutionModel;
 
 use crate::error::CoreError;
@@ -54,6 +54,8 @@ pub struct EngineTrialOutcome {
     pub ledger: MessageLedger,
     /// Engine rounds executed (including communication-free ones).
     pub engine_rounds: u64,
+    /// Per-phase wall-clock breakdown (route / step / check).
+    pub timings: PhaseTimings,
 }
 
 impl EngineTrialColoring {
@@ -114,6 +116,7 @@ impl EngineTrialColoring {
             outcome: outcome("engine-trial", coloring, run.report),
             ledger: run.ledger,
             engine_rounds: run.rounds,
+            timings: run.timings,
         })
     }
 }

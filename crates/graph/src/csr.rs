@@ -41,7 +41,10 @@ impl CsrGraph {
         node_count: usize,
         edges: impl IntoIterator<Item = (NodeId, NodeId)>,
     ) -> Result<Self, GraphError> {
-        let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); node_count];
+        // Two-pass counting build (degree count → prefix sum → placement),
+        // mirroring the runtime's counting-sort router: one flat neighbor
+        // buffer instead of a `Vec<Vec<_>>` of per-node lists.
+        let mut list: Vec<(NodeId, NodeId)> = Vec::new();
         for (u, v) in edges {
             if u.index() >= node_count {
                 return Err(GraphError::NodeOutOfRange {
@@ -58,14 +61,79 @@ impl CsrGraph {
             if u == v {
                 return Err(GraphError::SelfLoop { node: u });
             }
-            adjacency[u.index()].push(v);
-            adjacency[v.index()].push(u);
+            list.push((u, v));
         }
-        for list in &mut adjacency {
-            list.sort_unstable();
-            list.dedup();
+        // Degree count (duplicates included; they are dropped below).
+        let mut offsets = vec![0usize; node_count + 1];
+        for &(u, v) in &list {
+            offsets[u.index() + 1] += 1;
+            offsets[v.index() + 1] += 1;
         }
-        Ok(Self::from_adjacency(adjacency))
+        // Prefix sum to group starts; the placement pass advances each
+        // start to its group end in place.
+        for i in 0..node_count {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut neighbors = vec![NodeId(0); 2 * list.len()];
+        for &(u, v) in &list {
+            let cu = &mut offsets[u.index()];
+            neighbors[*cu] = v;
+            *cu += 1;
+            let cv = &mut offsets[v.index()];
+            neighbors[*cv] = u;
+            *cv += 1;
+        }
+        // Each node's segment now ends at `offsets[i]`: sort it, drop
+        // duplicate edges, and compact the buffer in place (the write
+        // cursor can only trail the read cursor).
+        let mut write = 0usize;
+        let mut start = 0usize;
+        for offset in offsets[..node_count].iter_mut() {
+            let end = *offset;
+            neighbors[start..end].sort_unstable();
+            let seg_start = write;
+            for r in start..end {
+                if write == seg_start || neighbors[write - 1] != neighbors[r] {
+                    neighbors[write] = neighbors[r];
+                    write += 1;
+                }
+            }
+            start = end;
+            *offset = seg_start;
+        }
+        neighbors.truncate(write);
+        // Shift group starts back into offset form: offsets[i] currently
+        // holds the start of node i's deduplicated segment.
+        offsets[node_count] = write;
+        Ok(Self::from_sorted_parts(offsets, neighbors))
+    }
+
+    /// Builds a graph directly from CSR parts: `offsets[v]..offsets[v+1]`
+    /// must index `neighbors` for node `v`, with every adjacency list
+    /// sorted ascending, deduplicated, self-loop-free, and symmetric.
+    ///
+    /// This is the zero-intermediate fast path used by [`CsrGraph::from_edges`]
+    /// and induced-subgraph extraction; callers must uphold the invariants
+    /// themselves, which is why the constructor is crate-private.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offsets are not monotone or do not span `neighbors`.
+    pub(crate) fn from_sorted_parts(offsets: Vec<usize>, neighbors: Vec<NodeId>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have n + 1 entries");
+        assert_eq!(*offsets.last().unwrap(), neighbors.len());
+        let mut max_degree = 0usize;
+        for w in offsets.windows(2) {
+            assert!(w[0] <= w[1], "offsets must be monotone");
+            max_degree = max_degree.max(w[1] - w[0]);
+        }
+        let edge_count = neighbors.len() / 2;
+        CsrGraph {
+            offsets,
+            neighbors,
+            edge_count,
+            max_degree,
+        }
     }
 
     /// Builds a graph from per-node adjacency lists that are already
@@ -152,7 +220,9 @@ impl CsrGraph {
         &self.neighbors[self.offsets[v.index()]..self.offsets[v.index() + 1]]
     }
 
-    /// Whether `{u, v}` is an edge. O(log d(u)).
+    /// Whether `{u, v}` is an edge: a binary search of the sorted neighbor
+    /// slice, O(log d(u)).
+    #[inline]
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         self.neighbor_slice(u).binary_search(&v).is_ok()
     }

@@ -35,19 +35,34 @@ impl InducedSubgraph {
         for (local, &g) in sorted.iter().enumerate() {
             global_to_local[g.index()] = local;
         }
-        let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); sorted.len()];
+        // Two-pass counting build (degree count → prefix sum → placement),
+        // mirroring the runtime's counting-sort router: one flat neighbor
+        // buffer, no per-node `Vec` intermediates. Parent adjacency is
+        // sorted by global id and the local order preserves it, so each
+        // placed segment is already sorted and duplicate-free.
+        let mut offsets = vec![0usize; sorted.len() + 1];
         for (local, &g) in sorted.iter().enumerate() {
+            offsets[local + 1] = parent
+                .neighbors(g)
+                .filter(|u| global_to_local[u.index()] != usize::MAX)
+                .count();
+        }
+        for local in 0..sorted.len() {
+            offsets[local + 1] += offsets[local];
+        }
+        let mut neighbors = vec![NodeId(0); offsets[sorted.len()]];
+        for (local, &g) in sorted.iter().enumerate() {
+            let mut write = offsets[local];
             for u in parent.neighbors(g) {
                 let lu = global_to_local[u.index()];
                 if lu != usize::MAX {
-                    adjacency[local].push(NodeId::from_index(lu));
+                    neighbors[write] = NodeId::from_index(lu);
+                    write += 1;
                 }
             }
-            // Parent adjacency is sorted by global id and the local order is
-            // the same order, so each list is already sorted.
         }
         InducedSubgraph {
-            graph: CsrGraph::from_adjacency(adjacency),
+            graph: CsrGraph::from_sorted_parts(offsets, neighbors),
             to_global: sorted,
         }
     }

@@ -8,7 +8,7 @@
 
 use cc_graph::csr::CsrGraph;
 use cc_runtime::programs::luby::LubyMisProgram;
-use cc_runtime::{word_bits_limit, Engine, EngineConfig, MessageLedger, NodeProgram};
+use cc_runtime::{word_bits_limit, Engine, EngineConfig, MessageLedger, NodeProgram, PhaseTimings};
 use cc_sim::{ExecutionModel, ExecutionReport, SimError};
 
 use crate::MisResult;
@@ -49,6 +49,8 @@ pub struct EngineMisOutcome {
     pub report: ExecutionReport,
     /// The engine's message ledger (digest + per-round loads).
     pub ledger: MessageLedger,
+    /// Per-phase wall-clock breakdown (route / step / check).
+    pub timings: PhaseTimings,
 }
 
 impl EngineLubyMis {
@@ -101,6 +103,7 @@ impl EngineLubyMis {
             },
             report: run.report,
             ledger: run.ledger,
+            timings: run.timings,
         })
     }
 }

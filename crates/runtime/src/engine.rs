@@ -1,14 +1,17 @@
 //! The round-synchronous execution engine.
 //!
 //! [`Engine::run`] advances a population of [`NodeProgram`]s in lock-step
-//! rounds. Each round has two phases:
+//! rounds over a columnar message plane that is allocated once and reused
+//! every round. Each round has two phases:
 //!
 //! 1. **Step (parallel).** Senders are split into chunks fixed by the
-//!    clique size (see [`crate::router`]). For each chunk, a worker gathers
-//!    every node's inbox from the previous round's chunk arenas, steps the
-//!    program, and validates / digests / counting-sorts the chunk's
-//!    outgoing messages by destination. All per-message work happens here,
-//!    on the workers.
+//!    clique size (see [`crate::router`]). For each chunk, a worker builds
+//!    every node's inbox as a zero-copy view over the previous round's
+//!    sorted chunk arenas, steps the program (sends append straight into
+//!    the chunk's staging columns), and seals the chunk: a fused
+//!    count/digest/width pass, a prefix sum, and a placement pass
+//!    counting-sort the batch by destination. All per-message work happens
+//!    here, on the workers.
 //! 2. **Merge (driver).** At the barrier the driving thread folds the
 //!    chunks in fixed chunk order: ledger digest, load statistics,
 //!    violations, round charging — O(chunks · 𝔫) work independent of the
@@ -16,18 +19,27 @@
 //!
 //! Because chunk membership and merge order depend only on the clique
 //! size, results, reports, and ledgers are byte-identical for any worker
-//! thread count.
+//! thread count. The two arena banks (last round's sealed chunks, this
+//! round's staging chunks) swap by round parity — nothing is reallocated
+//! between rounds, and with one worker thread a steady-state round
+//! performs no heap allocation at all (asserted by the `alloc_free`
+//! integration test).
 
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 use cc_sim::{ClusterContext, ExecutionModel, ExecutionReport, SimError};
 
+use crate::columns::{Inbox, InboxSegment};
 use crate::env::NodeEnv;
 use crate::ledger::MessageLedger;
-use crate::message::{word_bits_limit, Message};
+use crate::message::word_bits_limit;
 use crate::pool::ChunkedExecutor;
 use crate::program::{NodeProgram, NodeStatus};
-use crate::router::{chunk_count, chunk_range, merge_round, ChunkBuffers};
+use crate::router::{
+    exec_chunk_count, group_node_range, merge_round, read_bank, ChunkArena, MAX_CHUNKS,
+};
 
 /// How an [`Engine`] executes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,6 +79,22 @@ impl EngineConfig {
     }
 }
 
+/// Wall-clock spent in each engine phase, accumulated over a whole run
+/// (summed across worker threads, so parallel runs can exceed the elapsed
+/// time). Diagnostics only — never part of the deterministic ledger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Routing: the fused count/digest/width pass, prefix sum, and
+    /// placement scatter (the counting sort).
+    pub route_ns: u64,
+    /// Stepping: program `on_round` calls, inbox view assembly, and sends
+    /// appending into the staging columns.
+    pub step_ns: u64,
+    /// Checking: the driver's barrier merge — ledger folds, bandwidth
+    /// verdicts, violation recording, round charging.
+    pub check_ns: u64,
+}
+
 /// The result of one engine execution.
 #[must_use = "the outcome carries the outputs, report, and determinism ledger"]
 #[derive(Debug, Clone)]
@@ -83,15 +111,156 @@ pub struct EngineOutcome<O> {
     pub rounds: u64,
     /// Whether every node halted (false only when `max_rounds` was hit).
     pub all_halted: bool,
+    /// Per-phase wall-clock breakdown (route / step / check).
+    pub timings: PhaseTimings,
 }
 
-/// One node's engine-side state: its program plus message scratch buffers.
-/// Only the owning chunk's worker touches a slot during the step phase.
-struct Slot<O> {
-    program: Option<Box<dyn NodeProgram<Output = O>>>,
-    inbox: Vec<Message>,
-    outbox: Vec<Message>,
-    halted: bool,
+/// The per-chunk program state: only the owning chunk's worker touches it
+/// during the step phase, under one lock per chunk per round.
+struct ChunkSlots<O> {
+    programs: Vec<Option<Box<dyn NodeProgram<Output = O>>>>,
+    halted: Vec<bool>,
+}
+
+/// The whole-run shared state: program slots, the two arena banks, and the
+/// round counter selecting which bank is staged and which is delivered.
+/// Built once per run — workers reference it through one `Arc` for the
+/// run's entire lifetime, so rounds allocate nothing.
+struct Plane<O> {
+    n: usize,
+    chunks: usize,
+    bits_limit: u32,
+    bandwidth_limit: usize,
+    /// Current round; its parity selects the staging bank.
+    round: AtomicU64,
+    /// Two banks of chunk arenas: `banks[round & 1]` is staged into this
+    /// round, the other bank holds last round's sealed (delivered) chunks.
+    banks: [Vec<RwLock<ChunkArena>>; 2],
+    slots: Vec<Mutex<ChunkSlots<O>>>,
+    /// Nanoseconds spent routing (seal) across all workers.
+    route_ns: AtomicU64,
+    /// Nanoseconds spent stepping programs across all workers.
+    step_ns: AtomicU64,
+}
+
+impl<O: Send + 'static> Plane<O> {
+    fn new(
+        programs: Vec<Box<dyn NodeProgram<Output = O>>>,
+        bits_limit: u32,
+        bandwidth_limit: usize,
+        threads: usize,
+    ) -> Self {
+        let n = programs.len();
+        let chunks = exec_chunk_count(n, threads);
+        let bank = || {
+            (0..chunks)
+                .map(|k| RwLock::new(ChunkArena::for_group(n, chunks, k)))
+                .collect()
+        };
+        let mut slots: Vec<Mutex<ChunkSlots<O>>> = Vec::with_capacity(chunks);
+        let mut programs = programs.into_iter();
+        for k in 0..chunks {
+            let len = group_node_range(n, chunks, k).len();
+            slots.push(Mutex::new(ChunkSlots {
+                programs: programs.by_ref().take(len).map(Some).collect(),
+                halted: vec![false; len],
+            }));
+        }
+        Plane {
+            n,
+            chunks,
+            bits_limit,
+            bandwidth_limit,
+            round: AtomicU64::new(0),
+            banks: [bank(), bank()],
+            slots,
+            route_ns: AtomicU64::new(0),
+            step_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Steps every live node of chunk `k` for the current round and seals
+    /// the chunk's arena. Runs on a worker thread; touches only
+    /// chunk-`k`-owned mutable state plus read-shared delivered arenas.
+    fn step_chunk(&self, k: usize) {
+        let round = self.round.load(Ordering::Acquire);
+        let staged_bank = &self.banks[(round & 1) as usize];
+        let delivered_bank = &self.banks[(1 - (round & 1)) as usize];
+        let mut arena = staged_bank[k].write().expect("chunk arena poisoned");
+        arena.reset();
+        let delivered = read_bank(delivered_bank);
+        // Only chunks that sent anything last round can contribute inbox
+        // segments; skipping the rest up front keeps sparse rounds cheap.
+        let mut senders: [usize; MAX_CHUNKS] = [0; MAX_CHUNKS];
+        let mut sender_count = 0;
+        for (c, chunk) in delivered.iter().flatten().enumerate() {
+            if chunk.staged() > 0 {
+                senders[sender_count] = c;
+                sender_count += 1;
+            }
+        }
+        let mut slots = self.slots[k].lock().expect("chunk slots poisoned");
+        let slots = &mut *slots;
+        let step_start = Instant::now();
+        // Scratch for inbox views, written fresh for every node (only the
+        // first `filled` entries are ever read); hoisted out of the loop so
+        // the whole array is not re-initialized per node.
+        let mut segments: [InboxSegment<'_>; MAX_CHUNKS] = [(&[], &[]); MAX_CHUNKS];
+        for (j, i) in group_node_range(self.n, self.chunks, k).enumerate() {
+            if slots.halted[j] {
+                arena.note_halted();
+                continue;
+            }
+            // The inbox: this node's slice of every delivered chunk that
+            // sent, in chunk order (= sender order) — zero copies, just
+            // slice lookups.
+            let mut filled = 0;
+            for &c in &senders[..sender_count] {
+                let segment = delivered[c]
+                    .as_ref()
+                    .expect("sender chunk missing")
+                    .slices_for(i);
+                if !segment.0.is_empty() {
+                    segments[filled] = segment;
+                    filled += 1;
+                }
+            }
+            let inbox = Inbox::new(i as u32, &segments[..filled]);
+            let before = arena.staged();
+            let program = slots.programs[j].as_mut().expect("program taken early");
+            let status = {
+                let mut env = NodeEnv::new(i as u32, self.n, round, inbox, arena.stage_mut());
+                program.on_round(&mut env)
+            };
+            let sent = arena.staged() - before;
+            arena.note_sender(i as u32, sent, self.bandwidth_limit);
+            if status == NodeStatus::Halt {
+                slots.halted[j] = true;
+                arena.note_halted();
+            }
+        }
+        let route_start = Instant::now();
+        self.step_ns.fetch_add(
+            (route_start - step_start).as_nanos() as u64,
+            Ordering::Relaxed,
+        );
+        arena.seal(round, self.bits_limit);
+        self.route_ns
+            .fetch_add(route_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Consumes the plane and yields the finished per-node outputs, in node
+    /// order.
+    fn into_outputs(self) -> Vec<O> {
+        let mut outputs = Vec::with_capacity(self.n);
+        for slot in self.slots {
+            let chunk = slot.into_inner().expect("chunk slots poisoned");
+            for program in chunk.programs {
+                outputs.push(program.expect("program already finished").finish());
+            }
+        }
+        outputs
+    }
 }
 
 /// The round-synchronous message-passing engine.
@@ -147,132 +316,70 @@ impl Engine {
                 ledger,
                 rounds: 0,
                 all_halted: true,
+                timings: PhaseTimings::default(),
             });
         }
-        let chunks = chunk_count(n);
         let bits_limit = word_bits_limit(n);
         let bandwidth_limit = ctx.model().per_round_bandwidth_words;
+        // Pre-size the per-round ledger so steady-state rounds never grow
+        // it (bounded: a capped run amortizes the rest; 512 entries stays
+        // comfortably under the allocator's mmap threshold).
+        ledger.reserve_rounds(usize::try_from(self.config.max_rounds.min(512)).unwrap_or(0));
         let executor = ChunkedExecutor::new(self.config.threads);
-        let slots: Arc<Vec<Mutex<Slot<O>>>> = Arc::new(
-            programs
-                .into_iter()
-                .map(|program| {
-                    Mutex::new(Slot {
-                        program: Some(program),
-                        inbox: Vec::new(),
-                        outbox: Vec::new(),
-                        halted: false,
-                    })
-                })
-                .collect(),
-        );
-        // Double-buffered chunk state: workers read last round's sealed
-        // chunks (`delivered`, immutable) and write this round's chunks
-        // (`current`, one mutex per chunk, locked only by its owner).
-        let mut delivered: Arc<Vec<ChunkBuffers>> =
-            Arc::new((0..chunks).map(|_| ChunkBuffers::new(n)).collect());
-        let mut current: Arc<Vec<Mutex<ChunkBuffers>>> = Arc::new(
-            (0..chunks)
-                .map(|_| Mutex::new(ChunkBuffers::new(n)))
-                .collect(),
-        );
+        let plane = Arc::new(Plane::new(
+            programs,
+            bits_limit,
+            bandwidth_limit,
+            self.config.threads,
+        ));
+        let chunks = plane.chunks;
+        // One closure for the whole run; the round counter parameterizes it.
+        let step = {
+            let plane = Arc::clone(&plane);
+            Arc::new(move |k: usize| plane.step_chunk(k))
+        };
 
         let mut rounds = 0u64;
         let mut all_halted = false;
+        let mut check_ns = 0u64;
         for round in 0..self.config.max_rounds {
-            let step = {
-                let slots = Arc::clone(&slots);
-                let delivered = Arc::clone(&delivered);
-                let current = Arc::clone(&current);
-                Arc::new(move |k: usize| {
-                    let mut chunk = current[k].lock().expect("chunk state poisoned");
-                    chunk.reset();
-                    let range = chunk_range(n, chunks, k);
-                    for i in range.clone() {
-                        let mut slot = slots[i].lock().expect("node slot poisoned");
-                        let slot = &mut *slot;
-                        if slot.halted {
-                            chunk.note_halted();
-                            // Drop the stale outbox of the halting round so
-                            // the scatter pass below sees it empty.
-                            slot.outbox.clear();
-                            continue;
-                        }
-                        slot.inbox.clear();
-                        for prev in delivered.iter() {
-                            slot.inbox.extend_from_slice(prev.slice_for(i));
-                        }
-                        slot.outbox.clear();
-                        let mut env =
-                            NodeEnv::new(i as u32, n, round, &slot.inbox, &mut slot.outbox);
-                        let program = slot.program.as_mut().expect("program taken before finish");
-                        if program.on_round(&mut env) == NodeStatus::Halt {
-                            slot.halted = true;
-                            chunk.note_halted();
-                        }
-                        chunk.count_outbox(
-                            i as u32,
-                            &slot.outbox,
-                            round,
-                            bits_limit,
-                            bandwidth_limit,
-                        );
-                    }
-                    chunk.begin_scatter();
-                    for i in range {
-                        let slot = slots[i].lock().expect("node slot poisoned");
-                        chunk.scatter_outbox(&slot.outbox);
-                    }
-                })
-            };
+            plane.round.store(round, Ordering::Release);
             executor.run_indexed(chunks, &step);
-            drop(step);
             rounds = round + 1;
-            // Barrier: reclaim the chunk states (workers have dropped their
-            // handles after the executor joined) and merge them in fixed
-            // chunk order.
-            let sealed: Vec<ChunkBuffers> = Arc::try_unwrap(current)
-                .map_err(|_| ())
-                .expect("worker still holds chunk state after barrier")
-                .into_iter()
-                .map(|m| m.into_inner().expect("chunk state poisoned"))
-                .collect();
+            // Barrier: workers have finished (the executor joined); merge
+            // the staged bank in fixed chunk order on the driving thread.
+            let check_start = Instant::now();
             let merge = merge_round(
                 round,
-                &sealed,
+                &plane.banks[(round & 1) as usize],
                 &mut ctx,
                 &mut ledger,
                 &self.config.label,
                 bits_limit,
             )?;
+            check_ns += check_start.elapsed().as_nanos() as u64;
             all_halted = merge.halted == n;
-            // Swap generations, recycling last round's buffers.
-            let recycled = Arc::try_unwrap(delivered)
-                .map_err(|_| ())
-                .expect("worker still holds delivered state after barrier");
-            delivered = Arc::new(sealed);
-            current = Arc::new(recycled.into_iter().map(Mutex::new).collect());
             if all_halted {
                 break;
             }
         }
 
-        let mut outputs = Vec::with_capacity(n);
-        for slot in slots.iter() {
-            let program = slot
-                .lock()
-                .expect("node slot poisoned")
-                .program
-                .take()
-                .expect("program already finished");
-            outputs.push(program.finish());
-        }
+        drop(step);
+        let plane = Arc::try_unwrap(plane)
+            .map_err(|_| ())
+            .expect("worker still holds plane state after the final barrier");
+        let timings = PhaseTimings {
+            route_ns: plane.route_ns.load(Ordering::Relaxed),
+            step_ns: plane.step_ns.load(Ordering::Relaxed),
+            check_ns,
+        };
         Ok(EngineOutcome {
-            outputs,
+            outputs: plane.into_outputs(),
             report: ctx.report(),
             ledger,
             rounds,
             all_halted,
+            timings,
         })
     }
 }
@@ -369,6 +476,7 @@ mod tests {
         assert_eq!(outcome.rounds, 0);
         assert!(outcome.all_halted);
         assert!(outcome.outputs.is_empty());
+        assert_eq!(outcome.timings, PhaseTimings::default());
     }
 
     /// A program that never halts (and never communicates).
@@ -494,5 +602,18 @@ mod tests {
             .unwrap();
         assert_eq!(baseline.outputs, parallel.outputs);
         assert_eq!(baseline.ledger, parallel.ledger);
+    }
+
+    #[test]
+    fn timings_cover_all_phases_on_a_real_run() {
+        let n = 60;
+        let outcome = Engine::default()
+            .run(ExecutionModel::congested_clique(n), ring_programs(n))
+            .unwrap();
+        // Route and step always do work when messages flow; check runs at
+        // every barrier. (Coarse clocks can floor tiny phases to zero, so
+        // only the sum is asserted.)
+        let t = outcome.timings;
+        assert!(t.route_ns + t.step_ns + t.check_ns > 0);
     }
 }

@@ -1,38 +1,45 @@
 //! The per-node, per-round view a [`crate::program::NodeProgram`] runs
 //! against.
 
-use crate::message::Message;
+use crate::columns::{Inbox, MessageColumns, SendSink};
 
 /// What one node sees during one round: its identity, the messages delivered
-//  to it this round, and an outbox for the messages it sends.
+/// to it this round, and a send sink for the messages it sends.
 ///
 /// The environment is handed to [`crate::program::NodeProgram::on_round`] by
 /// the engine. Everything here is local to the node — a program can not
 /// observe any other node's state, which is what makes parallel execution
-/// sound.
+/// sound. Sends are appended straight into the owning chunk's columnar
+/// staging arena (see [`crate::columns`]); the inbox is a zero-copy view
+/// over the previous round's sorted arenas.
 #[derive(Debug)]
 pub struct NodeEnv<'a> {
     node: u32,
     n: usize,
     round: u64,
-    inbox: &'a [Message],
-    outbox: &'a mut Vec<Message>,
+    inbox: Inbox<'a>,
+    sink: SendSink<'a>,
 }
 
 impl<'a> NodeEnv<'a> {
-    pub(crate) fn new(
+    /// An environment for `node` of an `n`-node clique in `round`, reading
+    /// `inbox` and appending sends to `outbox`.
+    ///
+    /// The engine builds these internally; the constructor is public so
+    /// programs can be unit-tested without an engine.
+    pub fn new(
         node: u32,
         n: usize,
         round: u64,
-        inbox: &'a [Message],
-        outbox: &'a mut Vec<Message>,
+        inbox: Inbox<'a>,
+        outbox: &'a mut MessageColumns,
     ) -> Self {
         NodeEnv {
             node,
             n,
             round,
             inbox,
-            outbox,
+            sink: SendSink::new(node, n, outbox),
         }
     }
 
@@ -56,22 +63,28 @@ impl<'a> NodeEnv<'a> {
 
     /// The messages delivered to this node this round (sent by other nodes
     /// last round), ordered by sender id.
+    ///
+    /// The view is `Copy` and independent of the environment borrow, so a
+    /// program can iterate it while sending.
     #[inline]
-    pub fn inbox(&self) -> &[Message] {
+    pub fn inbox(&self) -> Inbox<'a> {
         self.inbox
     }
 
     /// Sends one word to `dst`, to be delivered next round.
     ///
     /// The engine checks the word width and this node's per-round send
-    /// budget at delivery time; nothing is enforced here, so a program can
-    /// not observe global state through error paths.
+    /// budget at delivery time, so a program can not observe global state
+    /// through error paths. Only the destination range is checked here —
+    /// it is local knowledge, and an out-of-range id is a program bug, not
+    /// a model violation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is outside `0..n`.
+    #[inline]
     pub fn send(&mut self, dst: u32, word: u64) {
-        self.outbox.push(Message {
-            src: self.node,
-            dst,
-            word,
-        });
+        self.sink.push(dst, word);
     }
 
     /// Sends `word` to every node in `dsts`.
@@ -79,6 +92,18 @@ impl<'a> NodeEnv<'a> {
         for dst in dsts {
             self.send(dst, word);
         }
+    }
+
+    /// Sends `word` to every node in `dsts` — the bulk form of
+    /// [`NodeEnv::send`], appended column-wise in one operation. Prefer it
+    /// when the destinations are already a slice (a neighbor list, say).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any destination is outside `0..n`.
+    #[inline]
+    pub fn send_slice(&mut self, dsts: &[u32], word: u64) {
+        self.sink.push_all(dsts, word);
     }
 
     /// Sends `word` to every other node in the clique.
@@ -94,26 +119,38 @@ impl<'a> NodeEnv<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::columns::InboxSegment;
 
     #[test]
     fn send_and_broadcast_fill_the_outbox() {
-        let inbox = vec![Message {
-            src: 2,
-            dst: 1,
-            word: 9,
-        }];
-        let mut outbox = Vec::new();
-        let mut env = NodeEnv::new(1, 4, 3, &inbox, &mut outbox);
+        let segment: InboxSegment<'_> = (&[2], &[9]);
+        let segments = [segment];
+        let inbox = Inbox::new(1, &segments);
+        let mut outbox = MessageColumns::new();
+        let mut env = NodeEnv::new(1, 4, 3, inbox, &mut outbox);
         assert_eq!(env.node(), 1);
         assert_eq!(env.n(), 4);
         assert_eq!(env.round(), 3);
         assert_eq!(env.inbox().len(), 1);
+        assert_eq!(env.inbox().get(0).unwrap().src, 2);
         env.send(0, 7);
         env.send_to_all([2, 3], 8);
         env.broadcast(5);
         // broadcast skips the sender itself.
         assert_eq!(outbox.len(), 1 + 2 + 3);
         assert!(outbox.iter().all(|m| m.src == 1));
-        assert!(outbox.iter().all(|m| m.dst != 1 || m.src != m.dst));
+        assert!(outbox.iter().all(|m| m.dst != 1));
+    }
+
+    #[test]
+    fn inbox_view_outlives_the_env_borrow() {
+        let inbox = Inbox::empty(0);
+        let mut outbox = MessageColumns::new();
+        let mut env = NodeEnv::new(0, 2, 0, inbox, &mut outbox);
+        let view = env.inbox();
+        // Holding the view while sending compiles because the view is Copy
+        // and borrows the arenas, not the env.
+        env.send(1, 1);
+        assert!(view.is_empty());
     }
 }

@@ -54,6 +54,7 @@ impl StreamDigest {
     }
 
     /// The current digest value.
+    #[inline]
     pub fn value(&self) -> u64 {
         self.0
     }
@@ -87,6 +88,14 @@ impl MessageLedger {
             total_messages: 0,
             digest: StreamDigest::new(),
         }
+    }
+
+    /// Reserves room for `rounds` further [`RoundStats`] entries, so that
+    /// a bounded run's steady-state rounds never grow the ledger. The
+    /// engine calls this once at start-up as part of its zero-allocation-
+    /// per-round guarantee.
+    pub fn reserve_rounds(&mut self, rounds: usize) {
+        self.rounds.reserve(rounds);
     }
 
     /// Folds one sender-chunk's stream digest into the ledger. Must be

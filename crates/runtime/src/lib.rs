@@ -19,6 +19,22 @@
 //!   [`cc_sim::ExecutionReport`] machinery the simulator uses, so
 //!   experiment tables treat both backends uniformly.
 //!
+//! ## The columnar message plane
+//!
+//! Messages are never materialized as `Vec<Message>`s on the hot path.
+//! Each sender chunk owns an arena of flat `src`/`dst`/`word` column
+//! buffers ([`columns::MessageColumns`]) allocated once at engine start
+//! and reused every round: programs send through a
+//! [`columns::SendSink`] appending straight into the staging columns,
+//! the router counting-sorts the batch by destination (count, prefix sum,
+//! placement — see [`crate::router`]), and next round's inboxes are
+//! zero-copy [`columns::Inbox`] views over the sorted columns. Width
+//! checking is a branch-light OR-fold over the word column. Steady-state
+//! rounds perform **zero heap allocations** on the single-threaded path
+//! (asserted by an allocation-counting test allocator in
+//! `tests/alloc_free.rs`); multi-threaded runs add only the worker pool's
+//! O(chunks) job boxes per round, never O(messages).
+//!
 //! ## Determinism
 //!
 //! Results, execution reports, and the message ledger are **byte-identical
@@ -84,6 +100,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod columns;
 pub mod engine;
 pub mod env;
 pub mod ledger;
@@ -93,7 +110,8 @@ pub mod program;
 pub mod programs;
 mod router;
 
-pub use engine::{Engine, EngineConfig, EngineOutcome};
+pub use columns::{Inbox, MessageColumns, SendSink};
+pub use engine::{Engine, EngineConfig, EngineOutcome, PhaseTimings};
 pub use env::NodeEnv;
 pub use ledger::{MessageLedger, RoundStats};
 pub use message::{word_bits_limit, Message};

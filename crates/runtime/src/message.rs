@@ -32,6 +32,7 @@ pub fn bits_of(word: u64) -> u32 {
 /// `2·⌈log₂ 𝔫⌉ + 6`, clamped to `[16, 64]`. Like
 /// [`cc_sim::constants::BIG_O_SLACK`], the slack turns an asymptotic bound
 /// into a checkable numeric limit without hiding real asymptotic cheating.
+#[inline]
 pub fn word_bits_limit(n: usize) -> u32 {
     // ⌈log₂ n⌉ without overflow for any usize.
     let log = usize::BITS - (n.max(2) - 1).leading_zeros();

@@ -64,11 +64,12 @@ mod tests {
 
     #[test]
     fn programs_are_usable_as_trait_objects() {
+        use crate::columns::{Inbox, MessageColumns};
         let mut program: Box<dyn NodeProgram<Output = bool>> = Box::new(Echo { sent: false });
-        let mut outbox = Vec::new();
-        let mut env = NodeEnv::new(0, 3, 0, &[], &mut outbox);
+        let mut outbox = MessageColumns::new();
+        let mut env = NodeEnv::new(0, 3, 0, Inbox::empty(0), &mut outbox);
         assert_eq!(program.on_round(&mut env), NodeStatus::Continue);
-        let mut env = NodeEnv::new(0, 3, 1, &[], &mut outbox);
+        let mut env = NodeEnv::new(0, 3, 1, Inbox::empty(0), &mut outbox);
         assert_eq!(program.on_round(&mut env), NodeStatus::Halt);
         assert_eq!(outbox.len(), 2);
         assert!(program.finish());

@@ -24,10 +24,10 @@ use crate::program::{NodeProgram, NodeStatus};
 /// One node of the Luby MIS protocol.
 #[derive(Debug, Clone)]
 pub struct LubyMisProgram {
-    /// All neighbors, sorted ascending.
+    /// The still-undecided neighbors, sorted ascending and kept compact:
+    /// a neighbor is removed when it announces a join or leave, so every
+    /// send loop walks exactly the live neighborhood with no flag checks.
     neighbors: Vec<u32>,
-    /// `active[i]` is true while `neighbors[i]` is still undecided.
-    active: Vec<bool>,
     /// This phase's drawn priority.
     priority: u64,
     /// Mask keeping priorities inside the O(log 𝔫)-bit message width.
@@ -45,11 +45,14 @@ impl LubyMisProgram {
     /// size; collisions only slow convergence, ties are broken by id). The
     /// per-node RNG is seeded from `(seed, node)`.
     pub fn new(node: u32, mut neighbors: Vec<u32>, priority_bits: u32, seed: u64) -> Self {
-        neighbors.sort_unstable();
-        neighbors.dedup();
+        // Callers (the graph adapters) almost always pass strictly
+        // ascending lists; one cheap scan then skips the sort + dedup.
+        if !neighbors.windows(2).all(|w| w[0] < w[1]) {
+            neighbors.sort_unstable();
+            neighbors.dedup();
+        }
         let bits = priority_bits.clamp(1, 63);
         LubyMisProgram {
-            active: vec![true; neighbors.len()],
             neighbors,
             priority: 0,
             priority_mask: (1u64 << bits) - 1,
@@ -60,17 +63,13 @@ impl LubyMisProgram {
 
     fn deactivate(&mut self, u: u32) {
         if let Ok(pos) = self.neighbors.binary_search(&u) {
-            self.active[pos] = false;
+            self.neighbors.remove(pos);
         }
     }
 
     /// Sends `word` to every still-active neighbor.
     fn tell_active(&self, env: &mut NodeEnv<'_>, word: u64) {
-        for (pos, &u) in self.neighbors.iter().enumerate() {
-            if self.active[pos] {
-                env.send(u, word);
-            }
-        }
+        env.send_slice(&self.neighbors, word);
     }
 }
 
@@ -84,9 +83,8 @@ impl NodeProgram for LubyMisProgram {
             0 => {
                 // Priority round; inbox holds leave notices from the
                 // previous phase.
-                for i in 0..env.inbox().len() {
-                    let src = env.inbox()[i].src;
-                    self.deactivate(src);
+                for m in env.inbox() {
+                    self.deactivate(m.src);
                 }
                 self.priority = self.rng.gen::<u64>() & self.priority_mask;
                 let priority = self.priority;
@@ -110,9 +108,8 @@ impl NodeProgram for LubyMisProgram {
                 if env.inbox().is_empty() {
                     return NodeStatus::Continue;
                 }
-                for i in 0..env.inbox().len() {
-                    let src = env.inbox()[i].src;
-                    self.deactivate(src);
+                for m in env.inbox() {
+                    self.deactivate(m.src);
                 }
                 self.in_set = Some(false);
                 self.tell_active(env, 1);

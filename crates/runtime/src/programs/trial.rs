@@ -22,18 +22,16 @@ use crate::program::{NodeProgram, NodeStatus};
 /// One node of the trial-coloring protocol.
 #[derive(Debug, Clone)]
 pub struct TrialColoringProgram {
-    /// All neighbors, sorted ascending.
+    /// The still-uncolored neighbors, sorted ascending and kept compact:
+    /// a neighbor is removed when its color is announced, so every send
+    /// loop walks exactly the live neighborhood with no flag checks.
     neighbors: Vec<u32>,
-    /// `active[i]` is true while `neighbors[i]` is still uncolored.
-    active: Vec<bool>,
-    /// The node's palette, sorted ascending. Colors taken by neighbors are
-    /// tombstoned in `usable` rather than removed, so a removal is one
-    /// binary search instead of an O(palette) shift.
-    palette: Vec<u64>,
-    /// `usable[i]` is true while `palette[i]` is still available.
-    usable: Vec<bool>,
-    /// Number of true entries in `usable`.
-    usable_count: usize,
+    /// The still-usable palette, sorted ascending and kept compact so that
+    /// drawing the `k`-th usable color is one index instead of a scan.
+    /// Removals (colors taken by neighbors) happen at most once per
+    /// neighbor; draws happen every propose round, so the compact layout
+    /// pays for the O(palette) shift a removal costs.
+    usable: Vec<u64>,
     /// This phase's proposal, pending resolution.
     proposal: Option<u64>,
     /// The fixed color, once resolved.
@@ -52,10 +50,16 @@ impl TrialColoringProgram {
     ///
     /// Panics if the palette is not larger than the neighborhood.
     pub fn new(node: u32, mut neighbors: Vec<u32>, mut palette: Vec<u64>, seed: u64) -> Self {
-        neighbors.sort_unstable();
-        neighbors.dedup();
-        palette.sort_unstable();
-        palette.dedup();
+        // Callers (the graph adapters) almost always pass strictly
+        // ascending lists; one cheap scan then skips the sort + dedup.
+        if !neighbors.windows(2).all(|w| w[0] < w[1]) {
+            neighbors.sort_unstable();
+            neighbors.dedup();
+        }
+        if !palette.windows(2).all(|w| w[0] < w[1]) {
+            palette.sort_unstable();
+            palette.dedup();
+        }
         assert!(
             palette.len() > neighbors.len(),
             "node {node}: palette of {} colors for {} neighbors violates p(v) > d(v)",
@@ -63,11 +67,8 @@ impl TrialColoringProgram {
             neighbors.len()
         );
         TrialColoringProgram {
-            active: vec![true; neighbors.len()],
             neighbors,
-            usable: vec![true; palette.len()],
-            usable_count: palette.len(),
-            palette,
+            usable: palette,
             proposal: None,
             color: None,
             rng: ChaCha8Rng::seed_from_u64(seed ^ ((u64::from(node) << 32) | u64::from(node))),
@@ -75,26 +76,9 @@ impl TrialColoringProgram {
     }
 
     fn remove_color(&mut self, color: u64) {
-        if let Ok(i) = self.palette.binary_search(&color) {
-            if self.usable[i] {
-                self.usable[i] = false;
-                self.usable_count -= 1;
-            }
+        if let Ok(i) = self.usable.binary_search(&color) {
+            self.usable.remove(i);
         }
-    }
-
-    /// The `k`-th (0-based) still-usable color.
-    fn usable_color(&self, k: usize) -> u64 {
-        let mut seen = 0;
-        for (i, &usable) in self.usable.iter().enumerate() {
-            if usable {
-                if seen == k {
-                    return self.palette[i];
-                }
-                seen += 1;
-            }
-        }
-        unreachable!("usable_count out of sync with usable flags")
     }
 }
 
@@ -106,21 +90,16 @@ impl NodeProgram for TrialColoringProgram {
             // Propose round. The inbox holds colors finalized by neighbors
             // in the previous resolve round: those neighbors are done, and
             // their colors are off-limits.
-            for i in 0..env.inbox().len() {
-                let m = env.inbox()[i];
+            for m in env.inbox() {
                 self.remove_color(m.word);
                 if let Ok(pos) = self.neighbors.binary_search(&m.src) {
-                    self.active[pos] = false;
+                    self.neighbors.remove(pos);
                 }
             }
-            let pick = self.rng.gen_range(0..self.usable_count);
-            let proposal = self.usable_color(pick);
+            let pick = self.rng.gen_range(0..self.usable.len());
+            let proposal = self.usable[pick];
             self.proposal = Some(proposal);
-            for (pos, &u) in self.neighbors.iter().enumerate() {
-                if self.active[pos] {
-                    env.send(u, proposal);
-                }
-            }
+            env.send_slice(&self.neighbors, proposal);
             NodeStatus::Continue
         } else {
             // Resolve round. The inbox holds the proposals of uncolored
@@ -135,11 +114,7 @@ impl NodeProgram for TrialColoringProgram {
                 return NodeStatus::Continue;
             }
             self.color = Some(proposal);
-            for (pos, &u) in self.neighbors.iter().enumerate() {
-                if self.active[pos] {
-                    env.send(u, proposal);
-                }
-            }
+            env.send_slice(&self.neighbors, proposal);
             NodeStatus::Halt
         }
     }

@@ -1,62 +1,136 @@
-//! Deterministic message delivery and model enforcement.
+//! Deterministic message delivery: a columnar, allocation-free counting
+//! sort per sender group, merged in fixed order at the barrier.
 //!
-//! Senders are partitioned into [`chunk_count`] contiguous chunks — a
-//! function of the clique size only, never of the thread count. During the
-//! parallel step phase each chunk validates, digests, and counting-sorts
-//! its own outgoing messages by destination into a chunk-local arena
-//! ([`ChunkBuffers`]); at the barrier the driving thread merges the chunks
-//! **in fixed chunk order** ([`merge_round`]): it folds chunk digests into
-//! the ledger, sums per-destination loads, records violations in canonical
-//! order, and charges the context. Next round, a receiver's inbox is the
+//! Senders are partitioned at two granularities. The **digest chunking**
+//! ([`digest_chunk_count`], a function of the clique size only) fixes the
+//! granularity at which message streams are digested into the ledger — it
+//! never changes, so ledgers are comparable across thread counts and
+//! engine versions. The **execution grouping** ([`exec_chunk_count`], each
+//! group a union of consecutive digest chunks) fixes the unit of parallel
+//! work: one [`ChunkArena`] of flat `src`/`dst`/`word` column buffers per
+//! group, allocated once and reused every round. A single-threaded run
+//! uses one group — every inbox is then one contiguous slice — while
+//! parallel runs use about two groups per worker; the grouping is
+//! unobservable in results, reports, and ledgers. During the parallel step phase, programs
+//! append sends directly into the chunk's *staging* columns (generation
+//! order: ascending sender, then send order); [`ChunkArena::seal`] then
+//! routes the batch with a two-pass counting sort keyed on `dst ∈ [0, 𝔫)` —
+//! one fused pass counts per-destination loads, folds the stream digest,
+//! and OR-accumulates a width mask; a prefix sum turns counts into offsets;
+//! a placement pass scatters the `src`/`word` columns into
+//! destination-grouped order (the `dst` column becomes implicit). The width
+//! check is branch-light: only if the OR-accumulated mask of the whole
+//! chunk exceeds the O(log 𝔫)-bit limit is the batch rescanned for the
+//! offending messages.
+//!
+//! At the barrier the driving thread merges the chunks **in fixed chunk
+//! order** ([`merge_round`]): it folds chunk digests into the ledger, sums
+//! per-destination loads, records violations in canonical order, and
+//! charges the context. Next round, a receiver's inbox is the zero-copy
 //! concatenation of its slices from every chunk arena in chunk order —
 //! i.e. ordered by sender id — so inbox contents, the ledger, and every
 //! violation are identical for any worker-thread count.
-//!
-//! This split keeps the per-message work (width checks, digest mixing, the
-//! destination sort) on the worker threads; the driver does only
-//! O(chunks · 𝔫) merge work per round.
+
+use std::sync::{RwLock, RwLockReadGuard};
 
 use cc_sim::error::{Violation, ViolationKind};
 use cc_sim::{ClusterContext, SimError};
 
+use crate::columns::MessageColumns;
 use crate::ledger::{message_mix, MessageLedger, RoundStats, StreamDigest};
-use crate::message::{bits_of, Message};
+use crate::message::bits_of;
 
-/// The number of sender chunks for an 𝔫-node execution. Fixed by 𝔫 alone so
-/// that chunk digests — and therefore the ledger — are thread-invariant;
-/// 16 chunks keep the shared queue balanced for typical worker counts while
-/// bounding the per-receiver gather fan-in (every inbox is assembled from
-/// one slice per chunk).
-pub(crate) fn chunk_count(n: usize) -> usize {
-    n.clamp(1, 16)
+/// Upper bound on the number of digest chunks and execution groups;
+/// stack-allocated gather tables are sized by it.
+pub(crate) const MAX_CHUNKS: usize = 16;
+
+/// The number of *digest* chunks for an 𝔫-node execution: the granularity
+/// at which sender streams are digested and folded into the ledger. Fixed
+/// by 𝔫 alone — never by the thread count or the execution grouping — so
+/// the ledger is invariant under both.
+pub(crate) fn digest_chunk_count(n: usize) -> usize {
+    n.clamp(1, MAX_CHUNKS)
 }
 
-/// The contiguous node range owned by chunk `k` of `chunks`.
-pub(crate) fn chunk_range(n: usize, chunks: usize, k: usize) -> std::ops::Range<usize> {
-    let q = n / chunks;
-    let r = n % chunks;
+/// The number of *execution* groups: the unit of parallel work (one arena,
+/// one worker job per round). Each group is a union of consecutive digest
+/// chunks, so grouping cannot be observed in inbox order (senders stay
+/// ascending), digests (sub-digests are kept per digest chunk), or
+/// violations (canonical node order either way) — which is what makes a
+/// thread-dependent choice safe. One thread gets one group (no fan-in at
+/// all: every inbox is a single slice); parallel runs get about two groups
+/// per worker for queue-greedy balance.
+pub(crate) fn exec_chunk_count(n: usize, threads: usize) -> usize {
+    let digest = digest_chunk_count(n);
+    if threads <= 1 {
+        1
+    } else {
+        digest.min((2 * threads).min(MAX_CHUNKS))
+    }
+}
+
+/// The contiguous range owned by part `k` when `n` items split into
+/// `parts` near-equal contiguous parts.
+pub(crate) fn chunk_range(n: usize, parts: usize, k: usize) -> std::ops::Range<usize> {
+    let q = n / parts;
+    let r = n % parts;
     let start = k * q + k.min(r);
     let len = q + usize::from(k < r);
     start..(start + len).min(n)
 }
 
-/// One sender chunk's delivery state for one round: its messages grouped by
-/// destination, plus everything the driver needs to merge deterministically.
+/// The digest chunks covered by execution group `k` of `exec_chunks`.
+pub(crate) fn group_digest_range(n: usize, exec_chunks: usize, k: usize) -> std::ops::Range<usize> {
+    chunk_range(digest_chunk_count(n), exec_chunks, k)
+}
+
+/// The contiguous node range owned by execution group `k` of `exec_chunks`
+/// (the union of its digest chunks' node ranges).
+pub(crate) fn group_node_range(n: usize, exec_chunks: usize, k: usize) -> std::ops::Range<usize> {
+    let digest = digest_chunk_count(n);
+    let chunks = group_digest_range(n, exec_chunks, k);
+    if chunks.is_empty() {
+        return 0..0;
+    }
+    let start = chunk_range(n, digest, chunks.start).start;
+    let end = chunk_range(n, digest, chunks.end - 1).end;
+    start..end
+}
+
+/// One sender chunk's columnar delivery state for one round.
+///
+/// All buffers are allocated once (at engine start) and reach a high-water
+/// capacity after the first rounds; steady-state rounds perform no heap
+/// allocation.
 #[derive(Debug)]
-pub(crate) struct ChunkBuffers {
-    /// This chunk's messages grouped by destination.
-    arena: Vec<Message>,
-    /// `index[d]..index[d+1]` is the arena range for destination `d`.
-    /// During the count phase, `index[d + 1]` temporarily holds the count
-    /// for `d`; [`ChunkBuffers::begin_scatter`] turns counts into offsets.
+pub(crate) struct ChunkArena {
+    /// The clique size the arena routes for.
+    n: usize,
+    /// Staged messages in generation order (ascending sender, send order).
+    stage: MessageColumns,
+    /// Destination-grouped sender column (valid after [`ChunkArena::seal`]).
+    sorted_src: Vec<u32>,
+    /// Destination-grouped payload column (parallel to `sorted_src`).
+    sorted_word: Vec<u64>,
+    /// Group-end offsets: after [`ChunkArena::seal`], destination `d`'s
+    /// sorted range is `index[d - 1]..index[d]` (with 0 for `d = 0`).
+    /// During the fused count pass, `index[d + 1]` temporarily holds the
+    /// count for `d`; the prefix sum turns `index[d]` into group starts,
+    /// and the placement pass advances each start to its group end — the
+    /// classic in-place counting-sort cursor trick, so no separate cursor
+    /// array exists. Allocated lazily (sized `n + 1`) by the first
+    /// non-empty seal, so arenas of quiet chunks cost nothing to build.
     index: Vec<u32>,
-    /// Scratch write cursors for the counting sort.
-    cursors: Vec<u32>,
-    /// Messages counted so far this round.
-    messages: u64,
-    /// Digest over the chunk's message stream in generation order (sender
-    /// order, then send order).
-    digest: StreamDigest,
+    /// Whether `seal` wrote `index` this round (so `reset` can skip
+    /// re-zeroing after communication-free rounds).
+    routed: bool,
+    /// Node-range ends (exclusive) of the digest chunks this group covers,
+    /// ascending: a staged message from `src` belongs to the first digest
+    /// chunk with `src < boundaries[sub]`.
+    boundaries: Vec<u32>,
+    /// One stream digest per covered digest chunk, over that chunk's
+    /// staged messages in generation order.
+    sub_digests: Vec<StreamDigest>,
     /// Largest single-sender outbox in this chunk.
     max_send: usize,
     /// Nodes of this chunk that are halted after the round.
@@ -67,14 +141,31 @@ pub(crate) struct ChunkBuffers {
     wide_messages: Vec<(u32, u32)>,
 }
 
-impl ChunkBuffers {
+impl ChunkArena {
+    /// An arena covering all of `0..n` as a single execution group (the
+    /// one-thread layout; also the unit tests' default).
+    #[cfg(test)]
     pub(crate) fn new(n: usize) -> Self {
-        ChunkBuffers {
-            arena: Vec::new(),
-            index: vec![0; n + 1],
-            cursors: Vec::new(),
-            messages: 0,
-            digest: StreamDigest::new(),
+        Self::for_group(n, 1, 0)
+    }
+
+    /// The arena of execution group `k` of `exec_chunks`.
+    pub(crate) fn for_group(n: usize, exec_chunks: usize, k: usize) -> Self {
+        let digest = digest_chunk_count(n);
+        let chunks = group_digest_range(n, exec_chunks, k);
+        let boundaries: Vec<u32> = chunks
+            .clone()
+            .map(|d| chunk_range(n, digest, d).end as u32)
+            .collect();
+        ChunkArena {
+            n,
+            stage: MessageColumns::new(),
+            sorted_src: Vec::new(),
+            sorted_word: Vec::new(),
+            index: Vec::new(),
+            routed: false,
+            sub_digests: vec![StreamDigest::new(); boundaries.len()],
+            boundaries,
             max_send: 0,
             halted: 0,
             send_overflows: Vec::new(),
@@ -82,16 +173,34 @@ impl ChunkBuffers {
         }
     }
 
-    /// Clears the chunk for a new round, keeping allocations.
+    /// The clique size the arena was built for.
+    pub(crate) fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Clears the arena for a new round, keeping every allocation.
     pub(crate) fn reset(&mut self) {
-        self.arena.clear();
-        self.index.fill(0);
-        self.messages = 0;
-        self.digest = StreamDigest::new();
+        self.stage.clear();
+        if self.routed {
+            self.index.fill(0);
+            self.routed = false;
+        }
+        self.sub_digests.fill(StreamDigest::new());
         self.max_send = 0;
         self.halted = 0;
         self.send_overflows.clear();
         self.wide_messages.clear();
+    }
+
+    /// The staging columns programs append into (via
+    /// [`crate::columns::SendSink`]).
+    pub(crate) fn stage_mut(&mut self) -> &mut MessageColumns {
+        &mut self.stage
+    }
+
+    /// Messages staged so far this round.
+    pub(crate) fn staged(&self) -> usize {
+        self.stage.len()
     }
 
     /// Notes one halted node of this chunk (for termination detection).
@@ -104,91 +213,108 @@ impl ChunkBuffers {
         self.halted
     }
 
-    /// Folds one sender's outbox into the chunk's accounting: validates
-    /// widths, digests, counts per destination, and checks the send budget.
-    /// Must be called in ascending sender order; the messages themselves
-    /// are placed by [`ChunkBuffers::scatter_outbox`] after
-    /// [`ChunkBuffers::begin_scatter`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if a message is addressed outside `0..n` — a bug in the
-    /// program, not a model violation.
-    pub(crate) fn count_outbox(
-        &mut self,
-        sender: u32,
-        outbox: &[Message],
-        round: u64,
-        bits_limit: u32,
-        bandwidth_limit: usize,
-    ) {
-        let n = self.index.len() - 1;
-        self.max_send = self.max_send.max(outbox.len());
-        if outbox.len() > bandwidth_limit {
-            self.send_overflows.push((sender, outbox.len()));
-        }
-        self.messages += outbox.len() as u64;
-        for m in outbox {
-            debug_assert_eq!(m.src, sender, "outbox message with forged sender");
-            assert!(
-                (m.dst as usize) < n,
-                "node {sender} sent to non-existent node {} (n = {n})",
-                m.dst
-            );
-            let bits = bits_of(m.word);
-            if bits > bits_limit {
-                self.wide_messages.push((sender, bits));
-            }
-            self.digest.fold(message_mix(round, m.src, m.dst, m.word));
-            self.index[m.dst as usize + 1] += 1;
+    /// Records one sender's per-round accounting after it stepped:
+    /// `sent` is the number of words the node appended this round. Must be
+    /// called in ascending sender order so overflow violations come out in
+    /// canonical (node) order.
+    pub(crate) fn note_sender(&mut self, sender: u32, sent: usize, bandwidth_limit: usize) {
+        self.max_send = self.max_send.max(sent);
+        if sent > bandwidth_limit {
+            self.send_overflows.push((sender, sent));
         }
     }
 
-    /// Turns destination counts into offsets and prepares the arena for the
-    /// scatter pass.
-    pub(crate) fn begin_scatter(&mut self) {
-        let n = self.index.len() - 1;
+    /// Routes the staged batch: one fused pass over the columns counts
+    /// per-destination loads, folds the stream digest, and OR-accumulates
+    /// the width mask; a prefix sum turns counts into offsets; a placement
+    /// pass scatters `src`/`word` into destination-grouped order. Only if
+    /// the OR mask exceeds `bits_limit` is the batch rescanned to attribute
+    /// the too-wide messages (the rare path).
+    pub(crate) fn seal(&mut self, round: u64, bits_limit: u32) {
+        if self.stage.is_empty() {
+            // Communication-free round: `index` is still all zeros from
+            // `reset`, so every sorted group reads back empty. No O(𝔫)
+            // work is spent on a chunk that sent nothing.
+            return;
+        }
+        self.routed = true;
+        let n = self.n;
+        self.index.resize(n + 1, 0);
+        let (src, dst, word) = (self.stage.src(), self.stage.dst(), self.stage.word());
+        // Count pass: touches only the destination column. Destinations
+        // were validated at send time, so `d < n` here.
+        for &d in dst {
+            self.index[d as usize + 1] += 1;
+        }
+        // Prefix sum: counts → group starts (`index[d]` = start of `d`).
         for d in 0..n {
             self.index[d + 1] += self.index[d];
         }
-        self.cursors.clear();
-        self.cursors.extend_from_slice(&self.index[..n]);
-        self.arena.resize(
-            self.messages as usize,
-            Message {
-                src: 0,
-                dst: 0,
-                word: 0,
-            },
-        );
-    }
-
-    /// Places one sender's messages into their destination groups. Must be
-    /// called in the same (ascending-sender) order as
-    /// [`ChunkBuffers::count_outbox`].
-    pub(crate) fn scatter_outbox(&mut self, outbox: &[Message]) {
-        for m in outbox {
-            let cursor = &mut self.cursors[m.dst as usize];
-            self.arena[*cursor as usize] = *m;
+        // Placement pass, fused with the digest and the width mask (it
+        // walks the batch in generation order, which is exactly the digest
+        // order, and senders ascend, so the digest-chunk cursor only moves
+        // forward): scatter into destination-grouped columns, advancing
+        // each group's start to its end in place.
+        self.sorted_src.resize(dst.len(), 0);
+        self.sorted_word.resize(dst.len(), 0);
+        let mut or_mask = 0u64;
+        let mut sub = 0usize;
+        for ((&s, &d), &w) in src.iter().zip(dst).zip(word) {
+            while s >= self.boundaries[sub] {
+                sub += 1;
+            }
+            self.sub_digests[sub].fold(message_mix(round, s, d, w));
+            or_mask |= w;
+            let cursor = &mut self.index[d as usize];
+            self.sorted_src[*cursor as usize] = s;
+            self.sorted_word[*cursor as usize] = w;
             *cursor += 1;
+        }
+        if bits_of(or_mask) > bits_limit {
+            // Rare path: attribute the offenders, in generation order.
+            for (&s, &w) in src.iter().zip(word) {
+                let bits = bits_of(w);
+                if bits > bits_limit {
+                    self.wide_messages.push((s, bits));
+                }
+            }
         }
     }
 
-    /// The messages this chunk delivers to destination `d` (valid after the
-    /// scatter pass), ordered by sender.
+    /// The sorted range for destination `d` (valid after
+    /// [`ChunkArena::seal`], which leaves `index[d]` at the *end* of
+    /// group `d`).
     #[inline]
-    pub(crate) fn slice_for(&self, d: usize) -> &[Message] {
-        &self.arena[self.index[d] as usize..self.index[d + 1] as usize]
+    fn range_for(&self, d: usize) -> std::ops::Range<usize> {
+        if !self.routed {
+            // Nothing was sealed this round; `index` may not even be
+            // allocated yet.
+            return 0..0;
+        }
+        let start = if d == 0 {
+            0
+        } else {
+            self.index[d - 1] as usize
+        };
+        start..self.index[d] as usize
+    }
+
+    /// The `(src, word)` columns this chunk delivers to destination `d`
+    /// (valid after [`ChunkArena::seal`]), ordered by sender.
+    #[inline]
+    pub(crate) fn slices_for(&self, d: usize) -> (&[u32], &[u64]) {
+        let range = self.range_for(d);
+        (&self.sorted_src[range.clone()], &self.sorted_word[range])
     }
 
     /// Messages this chunk delivers to `d` (count only).
     #[inline]
     fn count_for(&self, d: usize) -> usize {
-        (self.index[d + 1] - self.index[d]) as usize
+        self.range_for(d).len()
     }
 
     fn messages(&self) -> u64 {
-        self.messages
+        self.stage.len() as u64
     }
 }
 
@@ -197,6 +323,17 @@ impl ChunkBuffers {
 pub(crate) struct RoundMerge {
     pub messages: u64,
     pub halted: usize,
+}
+
+/// Read-locks every chunk of a bank into a stack table (the driver at the
+/// barrier, or a worker gathering inboxes; never contended across phases).
+pub(crate) fn read_bank(
+    bank: &[RwLock<ChunkArena>],
+) -> [Option<RwLockReadGuard<'_, ChunkArena>>; MAX_CHUNKS] {
+    std::array::from_fn(|k| {
+        bank.get(k)
+            .map(|lock| lock.read().expect("chunk arena poisoned"))
+    })
 }
 
 /// Merges the sealed chunks of one round in fixed chunk order: folds
@@ -211,28 +348,35 @@ pub(crate) struct RoundMerge {
 /// [`SimError::ConstraintViolated`].
 pub(crate) fn merge_round(
     round: u64,
-    chunks: &[ChunkBuffers],
+    bank: &[RwLock<ChunkArena>],
     ctx: &mut ClusterContext,
     ledger: &mut MessageLedger,
     label: &str,
     bits_limit: u32,
 ) -> Result<RoundMerge, SimError> {
-    let n = chunks.first().map_or(0, |c| c.index.len() - 1);
+    let guards = read_bank(bank);
+    let chunks = || guards.iter().flatten();
+    let n = chunks().next().map_or(0, |c| c.n());
     let mut messages = 0u64;
     let mut max_send = 0usize;
     let mut halted = 0usize;
-    for chunk in chunks {
+    for chunk in chunks() {
         messages += chunk.messages();
         max_send = max_send.max(chunk.max_send);
         halted += chunk.halted();
-        ledger.fold_chunk(chunk.digest.value());
+        // Groups cover consecutive digest chunks, so walking the groups in
+        // order folds all digest-chunk digests in global (0..16) order —
+        // exactly the pre-grouping fold sequence.
+        for digest in &chunk.sub_digests {
+            ledger.fold_chunk(digest.value());
+        }
     }
     let mut max_recv = 0usize;
     if messages > 0 {
         ctx.charge_rounds(label, 1);
         ctx.charge_communication(messages);
         let limit = ctx.model().per_round_bandwidth_words;
-        for chunk in chunks {
+        for chunk in chunks() {
             for &(sender, bits) in &chunk.wide_messages {
                 ctx.record_violation(Violation {
                     label: format!("{label}:r{round}:v{sender}"),
@@ -243,7 +387,7 @@ pub(crate) fn merge_round(
                 })?;
             }
         }
-        for chunk in chunks {
+        for chunk in chunks() {
             for &(sender, words) in &chunk.send_overflows {
                 ctx.record_violation(Violation {
                     label: format!("{label}:r{round}:v{sender}:send"),
@@ -252,7 +396,7 @@ pub(crate) fn merge_round(
             }
         }
         for d in 0..n {
-            let words: usize = chunks.iter().map(|c| c.count_for(d)).sum();
+            let words: usize = chunks().map(|c| c.count_for(d)).sum();
             max_recv = max_recv.max(words);
             if words > limit {
                 ctx.record_violation(Violation {
@@ -274,16 +418,30 @@ pub(crate) fn merge_round(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::columns::SendSink;
     use cc_sim::ExecutionModel;
 
-    fn msg(src: u32, dst: u32, word: u64) -> Message {
-        Message { src, dst, word }
+    /// Stages `outbox` for `sender` and records its accounting, mimicking
+    /// the engine's step loop.
+    fn stage_outbox(arena: &mut ChunkArena, sender: u32, outbox: &[(u32, u64)], limit: usize) {
+        let n = arena.n();
+        let before = arena.staged();
+        let mut sink = SendSink::new(sender, n, arena.stage_mut());
+        for &(dst, word) in outbox {
+            sink.push(dst, word);
+        }
+        let sent = arena.staged() - before;
+        arena.note_sender(sender, sent, limit);
+    }
+
+    fn bank(arena: ChunkArena) -> [RwLock<ChunkArena>; 1] {
+        [RwLock::new(arena)]
     }
 
     #[test]
     fn chunk_ranges_partition_the_nodes() {
         for n in [1usize, 5, 63, 64, 65, 1000] {
-            let chunks = chunk_count(n);
+            let chunks = digest_chunk_count(n);
             let mut covered = 0;
             for k in 0..chunks {
                 let range = chunk_range(n, chunks, k);
@@ -295,46 +453,105 @@ mod tests {
     }
 
     #[test]
-    fn chunk_count_is_thread_independent_and_bounded() {
-        assert_eq!(chunk_count(1), 1);
-        assert_eq!(chunk_count(10), 10);
-        assert_eq!(chunk_count(16), 16);
-        assert_eq!(chunk_count(100_000), 16);
+    fn digest_chunk_count_is_thread_independent_and_bounded() {
+        assert_eq!(digest_chunk_count(1), 1);
+        assert_eq!(digest_chunk_count(10), 10);
+        assert_eq!(digest_chunk_count(16), 16);
+        assert_eq!(digest_chunk_count(100_000), 16);
+    }
+
+    #[test]
+    fn exec_groups_partition_the_nodes_and_respect_digest_boundaries() {
+        for n in [1usize, 5, 17, 64, 513] {
+            for threads in [1usize, 2, 3, 4, 8, 32] {
+                let exec = exec_chunk_count(n, threads);
+                assert!(exec <= digest_chunk_count(n), "n={n} threads={threads}");
+                let mut covered_nodes = 0;
+                let mut covered_chunks = 0;
+                for k in 0..exec {
+                    let nodes = group_node_range(n, exec, k);
+                    let chunks = group_digest_range(n, exec, k);
+                    assert_eq!(nodes.start, covered_nodes, "n={n} threads={threads} k={k}");
+                    assert_eq!(chunks.start, covered_chunks);
+                    // Group boundaries are digest-chunk boundaries.
+                    assert_eq!(
+                        nodes.start,
+                        chunk_range(n, digest_chunk_count(n), chunks.start).start
+                    );
+                    covered_nodes = nodes.end;
+                    covered_chunks = chunks.end;
+                }
+                assert_eq!(covered_nodes, n, "n={n} threads={threads}");
+                assert_eq!(covered_chunks, digest_chunk_count(n));
+            }
+        }
+        assert_eq!(exec_chunk_count(512, 1), 1);
+        assert_eq!(exec_chunk_count(512, 4), 8);
+        assert_eq!(exec_chunk_count(512, 64), 16);
+    }
+
+    #[test]
+    fn grouping_does_not_change_the_folded_digests() {
+        // The same message stream routed through one group or many must
+        // fold the identical sub-digest sequence into the ledger.
+        let n = 40;
+        let send = |arena: &mut ChunkArena, lo: usize, hi: usize| {
+            for s in lo..hi {
+                stage_outbox(arena, s as u32, &[((s as u32 + 1) % n as u32, 7)], 100);
+            }
+        };
+        let mut ctx1 = ClusterContext::new(ExecutionModel::congested_clique(n));
+        let mut one = MessageLedger::new();
+        let mut whole = ChunkArena::for_group(n, 1, 0);
+        send(&mut whole, 0, n);
+        whole.seal(0, 16);
+        merge_round(0, &bank(whole), &mut ctx1, &mut one, "t", 16).unwrap();
+
+        let mut ctx2 = ClusterContext::new(ExecutionModel::congested_clique(n));
+        let mut many = MessageLedger::new();
+        let exec = 4;
+        let split: Vec<RwLock<ChunkArena>> = (0..exec)
+            .map(|k| {
+                let mut arena = ChunkArena::for_group(n, exec, k);
+                let nodes = group_node_range(n, exec, k);
+                send(&mut arena, nodes.start, nodes.end);
+                arena.seal(0, 16);
+                RwLock::new(arena)
+            })
+            .collect();
+        merge_round(0, &split, &mut ctx2, &mut many, "t", 16).unwrap();
+        assert_eq!(one, many);
     }
 
     #[test]
     fn seal_groups_messages_by_destination_in_sender_order() {
-        let mut chunk = ChunkBuffers::new(4);
-        let outboxes = [vec![msg(0, 2, 10), msg(0, 1, 11)], vec![msg(1, 2, 12)]];
-        for (sender, outbox) in outboxes.iter().enumerate() {
-            chunk.count_outbox(sender as u32, outbox, 0, 16, 100);
-        }
-        chunk.begin_scatter();
-        for outbox in &outboxes {
-            chunk.scatter_outbox(outbox);
-        }
-        assert_eq!(chunk.slice_for(2), &[msg(0, 2, 10), msg(1, 2, 12)]);
-        assert_eq!(chunk.slice_for(1), &[msg(0, 1, 11)]);
-        assert!(chunk.slice_for(0).is_empty());
-        assert_eq!(chunk.messages(), 3);
+        let mut arena = ChunkArena::new(4);
+        stage_outbox(&mut arena, 0, &[(2, 10), (1, 11)], 100);
+        stage_outbox(&mut arena, 1, &[(2, 12)], 100);
+        arena.seal(0, 16);
+        assert_eq!(arena.slices_for(2), (&[0u32, 1][..], &[10u64, 12][..]));
+        assert_eq!(arena.slices_for(1), (&[0u32][..], &[11u64][..]));
+        assert_eq!(arena.slices_for(0), (&[][..], &[][..]));
+        assert_eq!(arena.messages(), 3);
     }
 
     #[test]
     fn reset_clears_state_for_reuse() {
-        let mut chunk = ChunkBuffers::new(3);
-        let outbox = [msg(0, 1, u64::MAX)];
-        chunk.count_outbox(0, &outbox, 0, 16, 0);
-        chunk.note_halted();
-        chunk.begin_scatter();
-        chunk.scatter_outbox(&outbox);
-        assert_eq!(chunk.wide_messages.len(), 1);
-        assert_eq!(chunk.send_overflows.len(), 1);
-        chunk.reset();
-        assert_eq!(chunk.messages(), 0);
-        assert_eq!(chunk.halted(), 0);
-        assert!(chunk.wide_messages.is_empty());
-        chunk.begin_scatter();
-        assert!(chunk.slice_for(1).is_empty());
+        let mut arena = ChunkArena::new(3);
+        stage_outbox(&mut arena, 0, &[(1, u64::MAX)], 0);
+        arena.note_halted();
+        arena.seal(0, 16);
+        assert_eq!(arena.wide_messages.len(), 1);
+        assert_eq!(arena.send_overflows.len(), 1);
+        let digest_before = arena.sub_digests[0].value();
+        arena.reset();
+        assert_eq!(arena.messages(), 0);
+        assert_eq!(arena.halted(), 0);
+        assert!(arena.wide_messages.is_empty());
+        assert!(arena.send_overflows.is_empty());
+        assert_ne!(arena.sub_digests[0].value(), digest_before);
+        arena.seal(1, 16);
+        assert_eq!(arena.slices_for(1), (&[][..], &[][..]));
     }
 
     #[test]
@@ -343,16 +560,13 @@ mod tests {
         let mut ctx = ClusterContext::new(ExecutionModel::congested_clique(n));
         let mut ledger = MessageLedger::new();
         let limit = ctx.model().per_round_bandwidth_words;
-        let mut chunk = ChunkBuffers::new(n);
+        let mut arena = ChunkArena::new(n);
         // Node 0 floods node 1 past the budget; also one too-wide word.
-        let flood: Vec<Message> = (0..=limit).map(|_| msg(0, 1, 1)).collect();
-        let wide = [msg(2, 3, u64::MAX)];
-        chunk.count_outbox(0, &flood, 3, 32, limit);
-        chunk.count_outbox(2, &wide, 3, 32, limit);
-        chunk.begin_scatter();
-        chunk.scatter_outbox(&flood);
-        chunk.scatter_outbox(&wide);
-        let merge = merge_round(3, &[chunk], &mut ctx, &mut ledger, "test", 32).unwrap();
+        let flood: Vec<(u32, u64)> = (0..=limit).map(|_| (1, 1)).collect();
+        stage_outbox(&mut arena, 0, &flood, limit);
+        stage_outbox(&mut arena, 2, &[(3, u64::MAX)], limit);
+        arena.seal(3, 32);
+        let merge = merge_round(3, &bank(arena), &mut ctx, &mut ledger, "test", 32).unwrap();
         assert_eq!(merge.messages as usize, limit + 2);
         assert_eq!(ctx.rounds(), 1);
         // Wide word, send overflow, receive overflow — in that canonical
@@ -371,9 +585,9 @@ mod tests {
     fn empty_rounds_are_free() {
         let mut ctx = ClusterContext::strict(ExecutionModel::congested_clique(2));
         let mut ledger = MessageLedger::new();
-        let mut chunk = ChunkBuffers::new(2);
-        chunk.begin_scatter();
-        let merge = merge_round(0, &[chunk], &mut ctx, &mut ledger, "test", 16).unwrap();
+        let mut arena = ChunkArena::new(2);
+        arena.seal(0, 16);
+        let merge = merge_round(0, &bank(arena), &mut ctx, &mut ledger, "test", 16).unwrap();
         assert_eq!(merge.messages, 0);
         assert_eq!(ctx.rounds(), 0);
         assert_eq!(ledger.rounds().len(), 1);
@@ -383,19 +597,26 @@ mod tests {
     fn strict_mode_aborts_on_wide_words() {
         let mut ctx = ClusterContext::strict(ExecutionModel::congested_clique(2));
         let mut ledger = MessageLedger::new();
-        let mut chunk = ChunkBuffers::new(2);
-        let outbox = [msg(0, 1, u64::MAX)];
-        chunk.count_outbox(0, &outbox, 0, 16, 100);
-        chunk.begin_scatter();
-        chunk.scatter_outbox(&outbox);
-        let err = merge_round(0, &[chunk], &mut ctx, &mut ledger, "test", 16).unwrap_err();
+        let mut arena = ChunkArena::new(2);
+        stage_outbox(&mut arena, 0, &[(1, u64::MAX)], 100);
+        arena.seal(0, 16);
+        let err = merge_round(0, &bank(arena), &mut ctx, &mut ledger, "test", 16).unwrap_err();
         assert!(matches!(err, SimError::ConstraintViolated(_)));
+    }
+
+    #[test]
+    fn wide_rescan_attributes_only_offenders() {
+        let mut arena = ChunkArena::new(4);
+        stage_outbox(&mut arena, 0, &[(1, 3), (2, u64::MAX), (3, 1)], 100);
+        stage_outbox(&mut arena, 1, &[(0, 1 << 20)], 100);
+        arena.seal(0, 16);
+        assert_eq!(arena.wide_messages, vec![(0, 64), (1, 21)]);
     }
 
     #[test]
     #[should_panic(expected = "non-existent node")]
     fn out_of_range_destination_panics() {
-        let mut chunk = ChunkBuffers::new(2);
-        chunk.count_outbox(0, &[msg(0, 7, 1)], 0, 16, 100);
+        let mut arena = ChunkArena::new(2);
+        stage_outbox(&mut arena, 0, &[(7, 1)], 100);
     }
 }

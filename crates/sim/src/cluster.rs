@@ -90,7 +90,14 @@ impl ClusterContext {
     /// Charges `rounds` communication rounds under the given phase label.
     pub fn charge_rounds(&mut self, label: &str, rounds: u64) {
         self.rounds += rounds;
-        *self.rounds_by_label.entry(label.to_string()).or_insert(0) += rounds;
+        // Look up before inserting: `entry` would clone the label into a
+        // fresh String on every call, which the engine's zero-allocation-
+        // per-round guarantee cannot afford on its once-per-round charge.
+        if let Some(total) = self.rounds_by_label.get_mut(label) {
+            *total += rounds;
+        } else {
+            self.rounds_by_label.insert(label.to_string(), rounds);
+        }
     }
 
     /// Charges `words` of total communication volume (no rounds).
