@@ -1,0 +1,81 @@
+//! **cc-lint** — the workspace's own static-analysis pass.
+//!
+//! Clippy knows Rust; it does not know the CONGESTED CLIQUE. This crate
+//! checks the model-specific invariants the reproduction's claims rest on,
+//! at the source level, before any test runs:
+//!
+//! - **`determinism`** — no nondeterminism sources (hash-order iteration,
+//!   wall clocks, thread identity, pointer-value casts) inside
+//!   [`NodeProgram`](../cc_runtime/program/trait.NodeProgram.html) impls or
+//!   the runtime's hot modules, where byte-identical replay across thread
+//!   counts is contractual.
+//! - **`no_alloc`** — no allocating constructors/adaptors inside
+//!   `// cc-lint: region(no_alloc)` spans, the source-level face of the
+//!   counting-allocator proof.
+//! - **`unsafe_audit`** — every `unsafe` carries a `SAFETY:` comment, and
+//!   all of them are inventoried to
+//!   `target/cc-lint/unsafe_inventory.json`.
+//! - **`model_conformance`** — width/bandwidth bounds are derived from
+//!   `word_bits_limit`/the model constants, never hard-coded.
+//!
+//! Findings can be suppressed inline with
+//! `// cc-lint: allow(rule_name) — reason`; a malformed pragma is itself a
+//! finding. The `cc-lint` binary reports human-readably and as JSON, and
+//! `--deny` turns any finding into a nonzero exit for CI. Everything is
+//! hand-rolled on a comment/string/raw-string-aware lexer — no syn, no
+//! vendored parser, fully offline.
+
+pub mod lexer;
+pub mod pragma;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+pub use report::{Finding, Rule, UnsafeSite};
+pub use rules::{scan_source, FileScan};
+
+/// The result of linting a whole workspace.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Standing findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by `allow` pragmas, same order.
+    pub suppressed: Vec<Finding>,
+    /// Every `unsafe` occurrence in the scanned sources.
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// Number of files scanned.
+    pub files: usize,
+}
+
+impl LintReport {
+    /// Whether the workspace is clean (nothing to deny).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Lints every workspace-owned source file under `root`.
+///
+/// # Errors
+///
+/// Returns any I/O error raised while walking or reading sources.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let sources = workspace::workspace_sources(root)?;
+    let mut report = LintReport {
+        files: sources.len(),
+        ..LintReport::default()
+    };
+    for path in &sources {
+        let text = fs::read_to_string(root.join(path))?;
+        let scan = scan_source(path, &text);
+        report.findings.extend(scan.findings);
+        report.suppressed.extend(scan.suppressed);
+        report.unsafe_sites.extend(scan.unsafe_sites);
+    }
+    // Files come in sorted; per-file findings are line-sorted already.
+    Ok(report)
+}

@@ -1,0 +1,126 @@
+//! The `cc-lint` binary: lint the workspace, write the JSON artifacts,
+//! and (with `--deny`) gate CI on a clean tree.
+//!
+//! ```text
+//! cc-lint [--root PATH] [--deny] [--quiet]
+//! ```
+//!
+//! - `--root PATH` — workspace root (default: walk up from the current
+//!   directory to the first `Cargo.toml` declaring `[workspace]`).
+//! - `--deny` — exit 1 if any finding stands (suppressed findings and the
+//!   unsafe inventory never fail the gate).
+//! - `--quiet` — print only findings and the one-line summary.
+//!
+//! Always writes `target/cc-lint/findings.json` and
+//! `target/cc-lint/unsafe_inventory.json` under the root, so CI can
+//! archive the full audit surface even on green runs.
+
+use std::collections::BTreeMap;
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cc_lint::workspace::find_workspace_root;
+use cc_lint::{lint_workspace, report};
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut quiet = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--quiet" => quiet = true,
+            "--root" => match args.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => return usage("--root needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("usage: cc-lint [--root PATH] [--deny] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => return usage("no workspace root found; pass --root"),
+            }
+        }
+    };
+
+    let lint = match lint_workspace(&root) {
+        Ok(lint) => lint,
+        Err(err) => {
+            eprintln!("cc-lint: failed to scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for finding in &lint.findings {
+        println!("{finding}");
+    }
+    if !quiet {
+        for finding in &lint.suppressed {
+            println!("allowed: {finding}");
+        }
+    }
+
+    let out_dir = root.join("target").join("cc-lint");
+    let written = fs::create_dir_all(&out_dir)
+        .and_then(|()| {
+            fs::write(
+                out_dir.join("findings.json"),
+                report::findings_json(&lint.findings),
+            )
+        })
+        .and_then(|()| {
+            fs::write(
+                out_dir.join("unsafe_inventory.json"),
+                report::inventory_json(&lint.unsafe_sites),
+            )
+        });
+    if let Err(err) = written {
+        eprintln!("cc-lint: failed to write {}: {err}", out_dir.display());
+        return ExitCode::from(2);
+    }
+
+    let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
+    for finding in &lint.findings {
+        *by_rule.entry(finding.rule.name()).or_insert(0) += 1;
+    }
+    let breakdown = if by_rule.is_empty() {
+        String::new()
+    } else {
+        let parts: Vec<String> = by_rule
+            .iter()
+            .map(|(rule, count)| format!("{rule}: {count}"))
+            .collect();
+        format!(" ({})", parts.join(", "))
+    };
+    println!(
+        "cc-lint: {} files, {} findings{breakdown}, {} allowed, {} unsafe sites inventoried",
+        lint.files,
+        lint.findings.len(),
+        lint.suppressed.len(),
+        lint.unsafe_sites.len(),
+    );
+
+    if deny && !lint.is_clean() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("cc-lint: {message}");
+    eprintln!("usage: cc-lint [--root PATH] [--deny] [--quiet]");
+    ExitCode::from(2)
+}

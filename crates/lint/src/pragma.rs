@@ -1,0 +1,283 @@
+//! `cc-lint:` control comments: region markers and inline suppressions.
+//!
+//! Three directives are recognized, always inside an ordinary comment:
+//!
+//! - `// cc-lint: region(no_alloc)` … `// cc-lint: end_region` bracket a
+//!   **region**: a span of lines a region-scoped rule (today: `no_alloc`)
+//!   applies to. Regions may not nest and must be closed in the same file.
+//! - `// cc-lint: allow(rule_name) — reason` suppresses findings of
+//!   `rule_name` on the pragma's *target line*: the pragma's own line if it
+//!   trails code, otherwise the next line that has code on it. A reason is
+//!   required — a suppression nobody can audit is itself a finding.
+//!
+//! Anything else after a `cc-lint:` marker is a malformed pragma and is
+//! reported as a finding of the `pragma` rule: a typo must never silently
+//! suppress nothing.
+
+use crate::lexer::Lexed;
+
+/// One parsed `allow(...)` suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule being suppressed.
+    pub rule: String,
+    /// The human justification after the rule name.
+    pub reason: String,
+    /// The line whose findings are suppressed.
+    pub target_line: u32,
+    /// The line the pragma comment itself starts on.
+    pub pragma_line: u32,
+}
+
+/// One closed region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// The region kind (`no_alloc`).
+    pub kind: String,
+    /// First line of the region (the opening marker's line).
+    pub start_line: u32,
+    /// Last line of the region (the closing marker's line).
+    pub end_line: u32,
+}
+
+/// A problem with the pragmas themselves (reported under the `pragma`
+/// rule).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PragmaError {
+    pub line: u32,
+    pub message: String,
+}
+
+/// Everything the pragma comments of one file said.
+#[derive(Debug, Default)]
+pub struct FilePragmas {
+    pub allows: Vec<Allow>,
+    pub regions: Vec<Region>,
+    pub errors: Vec<PragmaError>,
+}
+
+impl FilePragmas {
+    /// Whether a finding of `rule` at `line` is suppressed by an `allow`.
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.target_line == line && a.rule == rule)
+    }
+
+    /// The regions of the given kind, as inclusive line ranges.
+    pub fn regions_of<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a Region> + 'a {
+        self.regions.iter().filter(move |r| r.kind == kind)
+    }
+}
+
+/// The marker every pragma comment carries.
+const MARKER: &str = "cc-lint:";
+
+/// Region kinds the rules understand.
+const REGION_KINDS: [&str; 1] = ["no_alloc"];
+
+/// Rule names an `allow` may suppress.
+pub const RULE_NAMES: [&str; 5] = [
+    "determinism",
+    "no_alloc",
+    "unsafe_audit",
+    "model_conformance",
+    "pragma",
+];
+
+/// Parses all pragmas out of a lexed file.
+pub fn parse(lexed: &Lexed) -> FilePragmas {
+    let mut out = FilePragmas::default();
+    // Lines that carry at least one code token, for allow-target
+    // resolution, sorted (tokens are emitted in source order).
+    let code_lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    let mut open: Option<(String, u32)> = None;
+    for comment in &lexed.comments {
+        // Pragmas live in plain comments only: doc comments *describe*
+        // tooling (this module's own docs quote the syntax), they do not
+        // direct it.
+        if is_doc_comment(&comment.text) {
+            continue;
+        }
+        let Some(at) = comment.text.find(MARKER) else {
+            continue;
+        };
+        let directive = comment.text[at + MARKER.len()..].trim();
+        let directive = directive.trim_end_matches("*/").trim();
+        if let Some(kind) = capture(directive, "region") {
+            if !REGION_KINDS.contains(&kind) {
+                out.errors.push(PragmaError {
+                    line: comment.line,
+                    message: format!("unknown region kind `{kind}`"),
+                });
+            } else if let Some((open_kind, open_line)) = &open {
+                out.errors.push(PragmaError {
+                    line: comment.line,
+                    message: format!(
+                        "region({kind}) opened while region({open_kind}) from line {open_line} \
+                         is still open (regions do not nest)"
+                    ),
+                });
+            } else {
+                open = Some((kind.to_string(), comment.line));
+            }
+        } else if directive == "end_region" {
+            match open.take() {
+                Some((kind, start_line)) => out.regions.push(Region {
+                    kind,
+                    start_line,
+                    end_line: comment.end_line,
+                }),
+                None => out.errors.push(PragmaError {
+                    line: comment.line,
+                    message: "end_region without an open region".to_string(),
+                }),
+            }
+        } else if let Some(rule) = capture(directive, "allow") {
+            let reason = directive[directive.find(')').map_or(0, |i| i + 1)..]
+                .trim_start_matches([' ', '\u{2014}', '-', ':', '\u{2013}'])
+                .trim();
+            if !RULE_NAMES.contains(&rule) {
+                out.errors.push(PragmaError {
+                    line: comment.line,
+                    message: format!("allow of unknown rule `{rule}`"),
+                });
+            } else if reason.is_empty() {
+                out.errors.push(PragmaError {
+                    line: comment.line,
+                    message: format!("allow({rule}) without a reason"),
+                });
+            } else {
+                let target_line = allow_target(&code_lines, comment.line, comment.end_line);
+                out.allows.push(Allow {
+                    rule: rule.to_string(),
+                    reason: reason.to_string(),
+                    target_line,
+                    pragma_line: comment.line,
+                });
+            }
+        } else {
+            out.errors.push(PragmaError {
+                line: comment.line,
+                message: format!("malformed cc-lint pragma `{directive}`"),
+            });
+        }
+    }
+    if let Some((kind, line)) = open {
+        out.errors.push(PragmaError {
+            line,
+            message: format!("region({kind}) is never closed"),
+        });
+    }
+    out
+}
+
+/// Whether a comment (markers included) is a doc comment (`///`, `//!`,
+/// `/**`, `/*!`).
+fn is_doc_comment(text: &str) -> bool {
+    text.starts_with("///")
+        || text.starts_with("//!")
+        || text.starts_with("/**")
+        || text.starts_with("/*!")
+}
+
+/// Captures the parenthesized argument of `name(arg)` at the start of a
+/// directive, if present.
+fn capture<'a>(directive: &'a str, name: &str) -> Option<&'a str> {
+    let rest = directive.strip_prefix(name)?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    Some(rest[..close].trim())
+}
+
+/// The line an `allow` pragma suppresses: its own line if that line has
+/// code on it, otherwise the next line that does.
+fn allow_target(code_lines: &[u32], pragma_line: u32, pragma_end: u32) -> u32 {
+    if code_lines.binary_search(&pragma_line).is_ok() {
+        return pragma_line;
+    }
+    let next = code_lines.partition_point(|&l| l <= pragma_end);
+    code_lines.get(next).copied().unwrap_or(pragma_line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn regions_parse_with_line_spans() {
+        let src = "\
+fn ok() {}
+// cc-lint: region(no_alloc)
+fn hot() {}
+// cc-lint: end_region
+fn cold() {}
+";
+        let pragmas = parse(&lex(src));
+        assert!(pragmas.errors.is_empty());
+        assert_eq!(
+            pragmas.regions,
+            vec![Region {
+                kind: "no_alloc".to_string(),
+                start_line: 2,
+                end_line: 4,
+            }]
+        );
+    }
+
+    #[test]
+    fn allow_targets_trailing_and_standalone_forms() {
+        let src = "\
+use std::time::Instant; // cc-lint: allow(determinism) — diagnostics only
+// cc-lint: allow(no_alloc) — startup path
+let v = Vec::new();
+";
+        let pragmas = parse(&lex(src));
+        assert!(pragmas.errors.is_empty());
+        assert!(pragmas.is_allowed("determinism", 1));
+        assert!(pragmas.is_allowed("no_alloc", 3));
+        assert!(!pragmas.is_allowed("determinism", 3));
+        assert_eq!(pragmas.allows[1].reason, "startup path");
+    }
+
+    #[test]
+    fn malformed_pragmas_are_findings() {
+        let src = "\
+// cc-lint: alow(determinism) — typo
+// cc-lint: allow(no_such_rule) — bad
+// cc-lint: allow(determinism)
+// cc-lint: region(no_such_region)
+// cc-lint: end_region
+";
+        let pragmas = parse(&lex(src));
+        assert_eq!(pragmas.errors.len(), 5);
+        assert!(pragmas.allows.is_empty());
+        assert!(pragmas.regions.is_empty());
+    }
+
+    #[test]
+    fn unclosed_and_nested_regions_are_findings() {
+        let nested = "\
+// cc-lint: region(no_alloc)
+// cc-lint: region(no_alloc)
+// cc-lint: end_region
+";
+        let pragmas = parse(&lex(nested));
+        assert_eq!(pragmas.errors.len(), 1);
+        assert_eq!(pragmas.regions.len(), 1);
+
+        let unclosed = "// cc-lint: region(no_alloc)\nfn f() {}\n";
+        let pragmas = parse(&lex(unclosed));
+        assert_eq!(pragmas.errors.len(), 1);
+        assert!(pragmas.errors[0].message.contains("never closed"));
+    }
+
+    #[test]
+    fn ordinary_comments_are_ignored() {
+        let src = "// nothing to see\n/* cc-lint: allow(determinism) — in a block */ fn f() {}\n";
+        let pragmas = parse(&lex(src));
+        assert!(pragmas.errors.is_empty());
+        assert!(pragmas.is_allowed("determinism", 2));
+    }
+}

@@ -1,0 +1,181 @@
+//! Findings, the unsafe inventory, and the human/JSON reporters.
+//!
+//! Serialization is hand-rolled for the same reason as `cc-bench`'s
+//! records: the build environment is offline, the shapes are flat, and a
+//! page of formatter keeps the workspace free of a vendored `serde`.
+
+use std::fmt;
+
+/// The rule families (plus the meta-rule for broken pragmas).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Nondeterminism sources in `NodeProgram` impls and runtime hot
+    /// modules.
+    Determinism,
+    /// Allocation in a `region(no_alloc)` span.
+    NoAlloc,
+    /// `unsafe` without a `SAFETY:` justification.
+    UnsafeAudit,
+    /// Width/bandwidth bounds hard-coded outside the model constants.
+    ModelConformance,
+    /// A malformed `cc-lint:` pragma.
+    Pragma,
+}
+
+impl Rule {
+    /// The rule's name as used in `allow(...)` pragmas and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Determinism => "determinism",
+            Rule::NoAlloc => "no_alloc",
+            Rule::UnsafeAudit => "unsafe_audit",
+            Rule::ModelConformance => "model_conformance",
+            Rule::Pragma => "pragma",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding: a rule violated at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: Rule,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// One `unsafe` occurrence, justified or not. Every occurrence is
+/// inventoried — the finding for a missing justification is separate, so
+/// the inventory is always the complete audit surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsafeSite {
+    pub file: String,
+    pub line: u32,
+    /// What the `unsafe` keyword introduces: `fn`, `impl`, `trait`, or
+    /// `block`.
+    pub context: String,
+    /// The `SAFETY:` text, if present.
+    pub justification: Option<String>,
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes findings as a JSON array (stable field order, one object per
+/// line — diffs stay readable in CI artifacts).
+pub fn findings_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            f.rule,
+            escape_json(&f.file),
+            f.line,
+            escape_json(&f.message)
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Serializes the unsafe inventory as a JSON array.
+pub fn inventory_json(sites: &[UnsafeSite]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in sites.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let justification = match &s.justification {
+            Some(text) => format!("\"{}\"", escape_json(text)),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "\n  {{\"file\":\"{}\",\"line\":{},\"context\":\"{}\",\"justification\":{}}}",
+            escape_json(&s.file),
+            s.line,
+            escape_json(&s.context),
+            justification
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn findings_render_human_and_json() {
+        let finding = Finding {
+            rule: Rule::Determinism,
+            file: "crates/runtime/src/engine.rs".to_string(),
+            line: 30,
+            message: "wall clock (`Instant`) in a hot module".to_string(),
+        };
+        assert_eq!(
+            finding.to_string(),
+            "crates/runtime/src/engine.rs:30: [determinism] wall clock (`Instant`) in a hot module"
+        );
+        let json = findings_json(std::slice::from_ref(&finding));
+        assert!(json.contains("\"rule\":\"determinism\""));
+        assert!(json.contains("\"line\":30"));
+        assert!(findings_json(&[]).starts_with('['));
+    }
+
+    #[test]
+    fn inventory_escapes_and_handles_missing_justification() {
+        let sites = [
+            UnsafeSite {
+                file: "a.rs".to_string(),
+                line: 1,
+                context: "block".to_string(),
+                justification: Some("caller upholds \"contract\"".to_string()),
+            },
+            UnsafeSite {
+                file: "b.rs".to_string(),
+                line: 2,
+                context: "fn".to_string(),
+                justification: None,
+            },
+        ];
+        let json = inventory_json(&sites);
+        assert!(json.contains("\\\"contract\\\""));
+        assert!(json.contains("\"justification\":null"));
+    }
+}

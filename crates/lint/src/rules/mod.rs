@@ -1,0 +1,262 @@
+//! The rule engine: per-file context (token stream, pragmas, structural
+//! line ranges) and the four rule families that walk it.
+//!
+//! All rules are purely lexical: they see the token and comment streams of
+//! one file at a time, plus a little structure recovered by brace matching
+//! (`#[cfg(test)] mod` bodies, `impl … NodeProgram …` bodies). That keeps
+//! the pass fast, offline, and dependency-free — and honest about what it
+//! can know: rules err conservative, and the `allow` pragma exists for the
+//! places where a human can see more than the lexer.
+
+mod conformance;
+mod determinism;
+mod no_alloc;
+mod unsafe_audit;
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{lex, Lexed, Token, TokenKind};
+use crate::pragma::{self, FilePragmas};
+use crate::report::{Finding, Rule, UnsafeSite};
+
+/// An inclusive 1-based line range.
+pub type LineRange = (u32, u32);
+
+/// Everything the rules know about one file.
+pub struct FileContext<'a> {
+    /// Workspace-relative path with `/` separators.
+    pub path: &'a str,
+    pub lexed: &'a Lexed,
+    pub pragmas: FilePragmas,
+    /// Bodies of `#[cfg(test)] mod … { … }` blocks.
+    pub test_ranges: Vec<LineRange>,
+    /// Bodies of `impl` blocks mentioning `NodeProgram` in their header.
+    pub program_ranges: Vec<LineRange>,
+    /// First token of each line that has code on it.
+    pub first_on_line: BTreeMap<u32, &'a Token>,
+}
+
+impl<'a> FileContext<'a> {
+    pub fn new(path: &'a str, lexed: &'a Lexed) -> Self {
+        let pragmas = pragma::parse(lexed);
+        let mut first_on_line = BTreeMap::new();
+        for token in &lexed.tokens {
+            first_on_line.entry(token.line).or_insert(token);
+        }
+        FileContext {
+            path,
+            test_ranges: cfg_test_ranges(lexed),
+            program_ranges: node_program_ranges(lexed),
+            lexed,
+            pragmas,
+            first_on_line,
+        }
+    }
+
+    /// Whether `line` falls inside a `#[cfg(test)]` module body.
+    pub fn in_test_code(&self, line: u32) -> bool {
+        covers(&self.test_ranges, line)
+    }
+
+    /// Whether `line` falls inside a `NodeProgram` impl body.
+    pub fn in_node_program(&self, line: u32) -> bool {
+        covers(&self.program_ranges, line)
+    }
+}
+
+fn covers(ranges: &[LineRange], line: u32) -> bool {
+    ranges.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+}
+
+/// The result of scanning one file.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    /// Findings that stand (not suppressed).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by an `allow` pragma (kept for reporting counts).
+    pub suppressed: Vec<Finding>,
+    /// Every `unsafe` occurrence, justified or not.
+    pub unsafe_sites: Vec<UnsafeSite>,
+}
+
+/// Lexes and scans one file under all rules, splitting findings by
+/// suppression. At most one finding per (rule, line) is kept, so an
+/// `allow` pragma addresses everything its line triggered.
+pub fn scan_source(path: &str, source: &str) -> FileScan {
+    let lexed = lex(source);
+    let ctx = FileContext::new(path, &lexed);
+    let mut raw: Vec<Finding> = Vec::new();
+    for error in &ctx.pragmas.errors {
+        raw.push(Finding {
+            rule: Rule::Pragma,
+            file: path.to_string(),
+            line: error.line,
+            message: error.message.clone(),
+        });
+    }
+    determinism::run(&ctx, &mut raw);
+    no_alloc::run(&ctx, &mut raw);
+    conformance::run(&ctx, &mut raw);
+    let mut scan = FileScan::default();
+    unsafe_audit::run(&ctx, &mut raw, &mut scan.unsafe_sites);
+
+    raw.sort_by(|a, b| (a.line, a.rule.name()).cmp(&(b.line, b.rule.name())));
+    raw.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);
+    for finding in raw {
+        if ctx.pragmas.is_allowed(finding.rule.name(), finding.line) {
+            scan.suppressed.push(finding);
+        } else {
+            scan.findings.push(finding);
+        }
+    }
+    scan
+}
+
+/// Appends one candidate finding.
+pub(crate) fn push(
+    out: &mut Vec<Finding>,
+    rule: Rule,
+    ctx: &FileContext<'_>,
+    line: u32,
+    message: String,
+) {
+    out.push(Finding {
+        rule,
+        file: ctx.path.to_string(),
+        line,
+        message,
+    });
+}
+
+/// The index of the `}` matching the `{` at `open`, by depth counting.
+pub(crate) fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, token) in tokens.iter().enumerate().skip(open) {
+        match token.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Line ranges of `#[cfg(test)] mod name { … }` bodies. Only the exact
+/// attribute form is recognized — which is the only form the workspace
+/// uses — so the rules stay predictable.
+fn cfg_test_ranges(lexed: &Lexed) -> Vec<LineRange> {
+    let tokens = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 9 < tokens.len() {
+        let is_cfg_test = tokens[i].is_punct('#')
+            && tokens[i + 1].is_punct('[')
+            && tokens[i + 2].is_ident("cfg")
+            && tokens[i + 3].is_punct('(')
+            && tokens[i + 4].is_ident("test")
+            && tokens[i + 5].is_punct(')')
+            && tokens[i + 6].is_punct(']')
+            && tokens[i + 7].is_ident("mod");
+        if is_cfg_test {
+            // `mod name {` — the brace is two tokens past `mod`.
+            if let Some(open) = tokens[i + 8..].iter().position(|t| t.is_punct('{')) {
+                let open = i + 8 + open;
+                if let Some(close) = matching_brace(tokens, open) {
+                    out.push((tokens[open].line, tokens[close].line));
+                    i = open + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Line ranges of `impl` bodies whose header (everything between `impl`
+/// and the opening `{`) mentions `NodeProgram` — i.e. `impl NodeProgram
+/// for X` and, conservatively, `impl<P: NodeProgram> …`.
+fn node_program_ranges(lexed: &Lexed) -> Vec<LineRange> {
+    let tokens = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("impl") {
+            let mut mentions = false;
+            let mut j = i + 1;
+            while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+                if tokens[j].is_ident("NodeProgram") {
+                    mentions = true;
+                }
+                j += 1;
+            }
+            if mentions && j < tokens.len() && tokens[j].is_punct('{') {
+                if let Some(close) = matching_brace(tokens, j) {
+                    out.push((tokens[i].line, tokens[close].line));
+                    i = j + 1;
+                    continue;
+                }
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_modules_are_found() {
+        let src = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+fn also_live() {}
+";
+        let lexed = lex(src);
+        let ctx = FileContext::new("x.rs", &lexed);
+        assert!(ctx.in_test_code(4));
+        assert!(!ctx.in_test_code(1));
+        assert!(!ctx.in_test_code(6));
+    }
+
+    #[test]
+    fn node_program_impls_are_found() {
+        let src = "\
+struct P;
+impl NodeProgram for P {
+    fn on_round(&mut self) {}
+}
+impl P {
+    fn other(&self) {}
+}
+";
+        let lexed = lex(src);
+        let ctx = FileContext::new("x.rs", &lexed);
+        assert!(ctx.in_node_program(3));
+        assert!(!ctx.in_node_program(6));
+    }
+
+    #[test]
+    fn one_finding_per_rule_and_line() {
+        // Two determinism triggers on one line collapse into one finding.
+        let src = "\
+impl NodeProgram for P {
+    fn f(&self) { let _ = (std::time::Instant::now(), std::time::Instant::now()); }
+}
+";
+        let scan = scan_source("x.rs", src);
+        assert_eq!(scan.findings.len(), 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Rule `no_alloc`: no allocator traffic inside marked steady-state spans.
+//!
+//! PR 3 proved the steady-state round path allocation-free *dynamically*,
+//! with a counting global allocator. That proof runs one workload; this
+//! rule pins the property at the source level: code between
+//! `// cc-lint: region(no_alloc)` and `// cc-lint: end_region` may not
+//! mention the allocating constructors and adaptors below. The two checks
+//! back each other — the allocator test catches what the lexer cannot see
+//! (allocation in a callee), the region catches what a workload does not
+//! happen to execute.
+
+use crate::report::{Finding, Rule};
+use crate::rules::{push, FileContext};
+
+/// `Type::method` pairs that allocate.
+const ALLOCATING_PATHS: [(&str, &str); 7] = [
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Vec", "from"),
+    ("Box", "new"),
+    ("String", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+];
+
+/// Method/function names that allocate wherever they appear.
+const ALLOCATING_CALLS: [&str; 5] = ["collect", "to_vec", "to_string", "clone", "with_capacity"];
+
+/// Macros that allocate.
+const ALLOCATING_MACROS: [&str; 2] = ["format", "vec"];
+
+pub(crate) fn run(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    let regions: Vec<(u32, u32)> = ctx
+        .pragmas
+        .regions_of("no_alloc")
+        .map(|r| (r.start_line, r.end_line))
+        .collect();
+    if regions.is_empty() {
+        return;
+    }
+    let in_region = |line: u32| regions.iter().any(|&(lo, hi)| lo <= line && line <= hi);
+    let tokens = &ctx.lexed.tokens;
+    for (i, token) in tokens.iter().enumerate() {
+        if !in_region(token.line) {
+            continue;
+        }
+        let Some(name) = token.ident() else { continue };
+        let path_pair = tokens
+            .get(i + 3)
+            .and_then(|t| t.ident())
+            .filter(|_| tokens[i + 1].is_punct(':') && tokens[i + 2].is_punct(':'));
+        if let Some(method) = path_pair {
+            if ALLOCATING_PATHS.contains(&(name, method)) {
+                push(
+                    out,
+                    Rule::NoAlloc,
+                    ctx,
+                    token.line,
+                    format!("`{name}::{method}` allocates inside a no_alloc region"),
+                );
+                continue;
+            }
+        }
+        if ALLOCATING_CALLS.contains(&name) {
+            push(
+                out,
+                Rule::NoAlloc,
+                ctx,
+                token.line,
+                format!("`{name}` allocates inside a no_alloc region"),
+            );
+        } else if ALLOCATING_MACROS.contains(&name)
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('!'))
+        {
+            push(
+                out,
+                Rule::NoAlloc,
+                ctx,
+                token.line,
+                format!("`{name}!` allocates inside a no_alloc region"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::report::Rule;
+    use crate::rules::scan_source;
+
+    fn no_alloc_findings(src: &str) -> Vec<String> {
+        scan_source("crates/x/src/lib.rs", src)
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::NoAlloc)
+            .map(|f| f.message.clone())
+            .collect()
+    }
+
+    #[test]
+    fn allocations_inside_regions_are_flagged() {
+        let src = "\
+// cc-lint: region(no_alloc)
+fn hot() {
+    let a = Vec::new();
+    let b: Vec<u32> = (0..4).collect();
+    let c = x.to_vec();
+    let d = y.clone();
+    let e = format!(\"{a:?}\");
+    let f = vec![1, 2];
+    let g = Box::new(0);
+    let h = String::from(\"s\");
+    let i = Vec::with_capacity(8);
+}
+// cc-lint: end_region
+";
+        assert_eq!(no_alloc_findings(src).len(), 9);
+    }
+
+    #[test]
+    fn outside_regions_nothing_is_flagged() {
+        let src = "fn cold() { let v = Vec::new(); let s = v.clone(); }\n";
+        assert!(no_alloc_findings(src).is_empty());
+    }
+
+    #[test]
+    fn non_allocating_code_passes_inside_regions() {
+        let src = "\
+// cc-lint: region(no_alloc)
+fn hot(buf: &mut [u32]) {
+    buf.fill(0);
+    let n = buf.len();
+    buf[n - 1] = 7;
+    // A comment may say clone or collect freely.
+    let s = \"format! in a string is fine\";
+    let _ = s;
+}
+// cc-lint: end_region
+";
+        assert!(no_alloc_findings(src).is_empty());
+    }
+
+    #[test]
+    fn vec_macro_without_bang_is_an_ident_not_a_macro() {
+        // A variable named `vec` must not trip the macro pattern.
+        let src = "\
+// cc-lint: region(no_alloc)
+fn hot(vec: &[u32]) -> usize { vec.len() }
+// cc-lint: end_region
+";
+        assert!(no_alloc_findings(src).is_empty());
+    }
+}

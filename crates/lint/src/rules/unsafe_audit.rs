@@ -1,0 +1,220 @@
+//! Rule `unsafe_audit`: every `unsafe` carries a `SAFETY:` justification,
+//! and all of them are inventoried.
+//!
+//! The workspace's library crates forbid unsafe code outright; the few
+//! sanctioned occurrences (test harnesses like the counting allocator)
+//! must each explain why they are sound. The rule accepts a justification
+//! on the same line, or in the comment block immediately above the
+//! `unsafe` keyword (attribute lines like `#[inline]` may sit in
+//! between). Doc-style `# Safety` sections count too. Every occurrence —
+//! justified or not — is recorded in a machine-readable inventory
+//! (`target/cc-lint/unsafe_inventory.json`), so "how much unsafe is there
+//! and why" is one artifact, not an audit project.
+
+use crate::lexer::TokenKind;
+use crate::report::{Finding, Rule, UnsafeSite};
+use crate::rules::{push, FileContext};
+
+pub(crate) fn run(ctx: &FileContext<'_>, out: &mut Vec<Finding>, inventory: &mut Vec<UnsafeSite>) {
+    let tokens = &ctx.lexed.tokens;
+    for (i, token) in tokens.iter().enumerate() {
+        if !token.is_ident("unsafe") {
+            continue;
+        }
+        let context = match tokens.get(i + 1).map(|t| &t.kind) {
+            Some(TokenKind::Ident(name))
+                if ["fn", "impl", "trait", "extern"].contains(&name.as_str()) =>
+            {
+                if name == "extern" {
+                    "fn".to_string()
+                } else {
+                    name.clone()
+                }
+            }
+            _ => "block".to_string(),
+        };
+        let justification = find_justification(ctx, token.line);
+        if justification.is_none() {
+            push(
+                out,
+                Rule::UnsafeAudit,
+                ctx,
+                token.line,
+                format!("`unsafe` {context} without a `// SAFETY:` comment on or above it"),
+            );
+        }
+        inventory.push(UnsafeSite {
+            file: ctx.path.to_string(),
+            line: token.line,
+            context,
+            justification,
+        });
+    }
+}
+
+/// Finds the `SAFETY:` text covering an `unsafe` at `line`: same-line
+/// comment first, then the contiguous comment block directly above
+/// (skipping attribute-first lines, stopping at blank lines or code).
+fn find_justification(ctx: &FileContext<'_>, line: u32) -> Option<String> {
+    let comments = &ctx.lexed.comments;
+    for comment in comments {
+        if comment.line <= line && line <= comment.end_line && is_safety(&comment.text) {
+            return Some(safety_text(&comment.text));
+        }
+    }
+    // Walk upward collecting the adjacent comment block.
+    let mut block: Vec<&str> = Vec::new();
+    let mut l = line.checked_sub(1)?;
+    'walk: while l >= 1 {
+        if let Some(first) = ctx.first_on_line.get(&l) {
+            // A code line: step over attributes, stop otherwise.
+            if first.is_punct('#') {
+                l -= 1;
+                continue;
+            }
+            break;
+        }
+        for comment in comments.iter().rev() {
+            if comment.line <= l && l <= comment.end_line {
+                block.push(&comment.text);
+                l = comment.line.saturating_sub(1);
+                continue 'walk;
+            }
+        }
+        break; // blank line: the block above is not adjacent
+    }
+    // `block` is bottom-up; the SAFETY marker may open a multi-comment
+    // block whose later lines continue the sentence.
+    let marker = block.iter().rposition(|text| is_safety(text))?;
+    let mut parts: Vec<String> = Vec::new();
+    parts.push(safety_text(block[marker]));
+    for text in block[..marker].iter().rev() {
+        parts.push(strip_comment_markers(text));
+    }
+    let joined = parts.join(" ").trim().to_string();
+    Some(joined)
+}
+
+fn is_safety(comment: &str) -> bool {
+    comment.contains("SAFETY:") || comment.contains("# Safety")
+}
+
+/// The justification text of a SAFETY comment, markers stripped.
+fn safety_text(comment: &str) -> String {
+    let stripped = strip_comment_markers(comment);
+    match stripped.find("SAFETY:") {
+        Some(at) => stripped[at + "SAFETY:".len()..].trim().to_string(),
+        None => stripped,
+    }
+}
+
+/// Removes `//`-family and `/* */` markers and trims.
+fn strip_comment_markers(text: &str) -> String {
+    let text = text.trim();
+    let text = text
+        .strip_prefix("//!")
+        .or_else(|| text.strip_prefix("///"))
+        .or_else(|| text.strip_prefix("//"))
+        .unwrap_or(text);
+    let text = text.strip_prefix("/*").unwrap_or(text);
+    let text = text.strip_suffix("*/").unwrap_or(text);
+    text.trim().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::report::Rule;
+    use crate::rules::scan_source;
+
+    fn scan(src: &str) -> (usize, Vec<Option<String>>) {
+        let scan = scan_source("x.rs", src);
+        let findings = scan
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::UnsafeAudit)
+            .count();
+        let sites = scan
+            .unsafe_sites
+            .iter()
+            .map(|s| s.justification.clone())
+            .collect();
+        (findings, sites)
+    }
+
+    #[test]
+    fn missing_safety_is_flagged_and_inventoried() {
+        let (findings, sites) = scan("fn f(p: *const u8) { unsafe { p.read() }; }\n");
+        assert_eq!(findings, 1);
+        assert_eq!(sites, vec![None]);
+    }
+
+    #[test]
+    fn same_line_and_block_above_justify() {
+        let src = "\
+fn f(p: *const u8) {
+    unsafe { p.read() }; // SAFETY: caller guarantees p is valid
+}
+// SAFETY: the impl upholds the GlobalAlloc contract by
+// delegating every call to System.
+#[allow(dead_code)]
+unsafe fn g() {}
+";
+        let (findings, sites) = scan(src);
+        assert_eq!(findings, 0);
+        assert_eq!(sites[0].as_deref(), Some("caller guarantees p is valid"));
+        let joined = sites[1].as_deref().unwrap();
+        assert!(joined.starts_with("the impl upholds"));
+        assert!(joined.contains("delegating every call"));
+    }
+
+    #[test]
+    fn blank_line_breaks_adjacency() {
+        let src = "\
+// SAFETY: stale justification far above
+
+unsafe fn g() {}
+";
+        let (findings, sites) = scan(src);
+        assert_eq!(findings, 1);
+        assert_eq!(sites, vec![None]);
+    }
+
+    #[test]
+    fn doc_safety_section_counts() {
+        let src = "\
+/// Reads a raw pointer.
+///
+/// # Safety
+/// `p` must be valid for reads.
+unsafe fn read(p: *const u8) -> u8 { unsafe { *p } }
+";
+        // Justification is resolved per line: the doc section covers both
+        // the `unsafe fn` and the same-line inner block.
+        let (findings, sites) = scan(src);
+        assert_eq!(sites.len(), 2);
+        assert!(sites.iter().all(Option::is_some));
+        assert_eq!(findings, 0);
+    }
+
+    #[test]
+    fn contexts_are_classified() {
+        let src = "\
+// SAFETY: a
+unsafe impl Send for X {}
+// SAFETY: b
+unsafe fn f() {}
+fn g() {
+    // SAFETY: c
+    unsafe {}
+}
+";
+        let scan = scan_source("x.rs", src);
+        let contexts: Vec<&str> = scan
+            .unsafe_sites
+            .iter()
+            .map(|s| s.context.as_str())
+            .collect();
+        assert_eq!(contexts, ["impl", "fn", "block"]);
+        assert!(scan.findings.is_empty());
+    }
+}

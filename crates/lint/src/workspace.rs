@@ -1,0 +1,94 @@
+//! Workspace file discovery: which sources the pass owns.
+//!
+//! The pass lints the workspace's *own* code — `src/`, `crates/`,
+//! `tests/`, `examples/` under the root — and deliberately skips
+//! `vendor/` (offline stand-ins for crates.io dependencies, not ours to
+//! police), `target/`, and anything hidden. Paths come back sorted and
+//! `/`-separated so reports, JSON artifacts, and the self-check test are
+//! byte-stable across platforms and filesystem orders.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Top-level directories the pass scans, in report order.
+const SCAN_DIRS: [&str; 4] = ["crates", "examples", "src", "tests"];
+
+/// Directory names never descended into, at any depth.
+const SKIP_DIRS: [&str; 2] = ["target", "vendor"];
+
+/// All workspace-owned `.rs` files under `root`, as sorted
+/// workspace-relative `/`-separated paths.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for dir in SCAN_DIRS {
+        let path = root.join(dir);
+        if path.is_dir() {
+            collect(&path, root, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(relative(root, &path));
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated.
+fn relative(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Walks upward from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]` — the root the pass runs against when none is given.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace_and_skips_vendor() {
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("workspace root above crates/lint");
+        let sources = workspace_sources(&root).unwrap();
+        assert!(sources.iter().any(|p| p == "crates/lint/src/workspace.rs"));
+        assert!(sources.iter().any(|p| p.starts_with("tests/")));
+        assert!(!sources.iter().any(|p| p.starts_with("vendor/")));
+        assert!(!sources.iter().any(|p| p.contains("/target/")));
+        let mut sorted = sources.clone();
+        sorted.sort();
+        assert_eq!(sources, sorted);
+    }
+}

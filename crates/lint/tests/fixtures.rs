@@ -1,0 +1,138 @@
+//! End-to-end fixtures: sources seeded with one violation per line,
+//! annotated rustc-UI-style.
+//!
+//! Each seeded violation line ends in a `//~ rule_name` marker; the test
+//! extracts the `(line, rule)` set from the markers and requires the
+//! scanner's findings to be *exactly* that set — every seeded violation is
+//! flagged (the acceptance bar is 100%), and nothing else is.
+
+use std::collections::BTreeSet;
+
+use cc_lint::scan_source;
+
+/// The `(line, rule)` pairs the fixture's `//~` markers declare.
+fn expected(src: &str) -> BTreeSet<(u32, String)> {
+    src.lines()
+        .enumerate()
+        .filter_map(|(i, line)| {
+            let at = line.rfind("//~ ")?;
+            Some((i as u32 + 1, line[at + 4..].trim().to_string()))
+        })
+        .collect()
+}
+
+/// The `(line, rule)` pairs the scanner actually flagged.
+fn flagged(path: &str, src: &str) -> BTreeSet<(u32, String)> {
+    scan_source(path, src)
+        .findings
+        .iter()
+        .map(|f| (f.line, f.rule.name().to_string()))
+        .collect()
+}
+
+fn check(path: &str, src: &str) {
+    let expected = expected(src);
+    assert!(
+        !expected.is_empty(),
+        "fixture has no //~ markers — nothing would be tested"
+    );
+    assert_eq!(flagged(path, src), expected);
+}
+
+/// A hot-module fixture exercising all four rule families plus pragma
+/// diagnostics in one file.
+#[test]
+fn hot_module_fixture_flags_every_seeded_violation() {
+    let src = r#"use std::collections::HashMap; //~ determinism
+use std::collections::HashSet; //~ determinism
+use std::time::SystemTime; //~ determinism
+
+fn clock(v: &[u8]) -> usize {
+    let t = std::time::Instant::now(); //~ determinism
+    let id = std::thread::current().id(); //~ determinism
+    let a = v.as_ptr() as usize; //~ determinism
+    let b = &t as *const _ as u64; //~ determinism
+    a
+}
+
+// cc-lint: region(no_alloc)
+fn hot(xs: &[u32]) -> usize {
+    let mut v = Vec::new(); //~ no_alloc
+    let doubled: Vec<u32> = xs.iter().map(|x| x * 2).collect(); //~ no_alloc
+    let s = format!("{}", xs.len()); //~ no_alloc
+    let b = Box::new(3u32); //~ no_alloc
+    let c = xs.to_vec(); //~ no_alloc
+    let d = vec![1, 2]; //~ no_alloc
+    v.len() + doubled.len() + s.len() + b.count_ones() as usize + c.len() + d.len()
+}
+// cc-lint: end_region
+
+fn cold() -> Vec<u32> {
+    Vec::new()
+}
+
+fn raw(p: *const u32) -> u32 {
+    unsafe { *p } //~ unsafe_audit
+}
+
+fn justified(p: *const u32) -> u32 {
+    // SAFETY: fixture — caller guarantees p is valid.
+    unsafe { *p }
+}
+
+fn widen(w: u32) -> bool {
+    let bits_limit = 16; //~ model_conformance
+    w > bits_limit
+}
+
+// cc-lint: alow(determinism) - typo //~ pragma
+// cc-lint: allow(no_such_rule) - why //~ pragma
+// cc-lint: region(no_alloc) //~ pragma
+"#;
+    let path = "crates/runtime/src/router.rs";
+    check(path, src);
+
+    // Both unsafes are inventoried; only the justified one carries text.
+    let scan = scan_source(path, src);
+    assert_eq!(scan.unsafe_sites.len(), 2);
+    assert_eq!(scan.unsafe_sites[0].justification, None);
+    assert!(scan.unsafe_sites[1]
+        .justification
+        .as_deref()
+        .unwrap()
+        .contains("caller guarantees"));
+}
+
+/// Determinism scoping: outside the hot modules, only `NodeProgram` impl
+/// bodies are checked.
+#[test]
+fn node_program_fixture_scopes_determinism_to_the_impl() {
+    let src = r#"use std::collections::HashMap;
+
+struct P;
+
+impl NodeProgram for P {
+    fn on_round(&mut self) {
+        let m: HashMap<u32, u32> = HashMap::default(); //~ determinism
+        let _ = m;
+    }
+}
+
+fn helper() -> HashMap<u32, u32> {
+    HashMap::default()
+}
+"#;
+    check("crates/mis/src/program.rs", src);
+}
+
+/// An `allow` pragma moves the finding to the suppressed list instead of
+/// silencing it entirely.
+#[test]
+fn allowed_findings_are_suppressed_not_lost() {
+    let src =
+        "use std::collections::HashMap; // cc-lint: allow(determinism) — fixture: on purpose\n";
+    let scan = scan_source("crates/runtime/src/router.rs", src);
+    assert!(scan.findings.is_empty());
+    assert_eq!(scan.suppressed.len(), 1);
+    assert_eq!(scan.suppressed[0].line, 1);
+}

@@ -1,0 +1,85 @@
+//! Property: rule-triggering text that appears only inside string
+//! literals, raw strings, byte strings, and comments never produces a
+//! finding.
+//!
+//! This is the lexer's whole reason to exist — a regex-grep lint would trip
+//! over every one of these. The generator assembles a hot-module source
+//! (so all four token rules are live, with a `no_alloc` region around the
+//! body) whose only occurrences of dangerous tokens are quoted or
+//! commented, and requires a completely clean scan.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use cc_lint::scan_source;
+
+/// Fragments that would each be a finding if they appeared as code in a
+/// hot module inside a `no_alloc` region.
+const PAYLOADS: [&str; 10] = [
+    "HashMap::new()",
+    "HashSet::default()",
+    "std::time::Instant::now()",
+    "std::thread::current().id()",
+    "v.as_ptr() as usize",
+    "Vec::new()",
+    "xs.iter().collect()",
+    "format!",
+    "unsafe { *ptr }",
+    "let bits_limit = 16",
+];
+
+/// The neutralizing containers. Everything the payload could trigger is
+/// token-based, so wrapping it in a non-code token must silence it.
+const CONTAINERS: usize = 4;
+
+fn contain(container: usize, payload: &str, i: usize) -> String {
+    match container {
+        0 => format!("    let _s{i} = \"{payload}\";"),
+        1 => format!("    let _r{i} = r#\"{payload}\"#;"),
+        2 => format!("    // {payload}"),
+        _ => format!("    /* {payload} */ let _c{i} = 0;"),
+    }
+}
+
+/// Assembles the scanned source: a `no_alloc` region around a function
+/// whose body is the generated container lines.
+fn assemble(picks: &[(usize, usize)]) -> String {
+    let mut src = String::from("// cc-lint: region(no_alloc)\nfn fixture() {\n");
+    for (i, &(payload, container)) in picks.iter().enumerate() {
+        src.push_str(&contain(container, PAYLOADS[payload], i));
+        src.push('\n');
+    }
+    src.push_str("}\n// cc-lint: end_region\n");
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quoted_and_commented_tokens_never_produce_findings(
+        picks in vec((0usize..PAYLOADS.len(), 0usize..CONTAINERS), 0..24)
+    ) {
+        let src = assemble(&picks);
+        let scan = scan_source("crates/runtime/src/router.rs", &src);
+        prop_assert!(
+            scan.findings.is_empty(),
+            "findings on quoted/commented tokens:\n{:?}\nsource:\n{}",
+            scan.findings,
+            src
+        );
+        prop_assert!(scan.suppressed.is_empty());
+        prop_assert!(scan.unsafe_sites.is_empty(), "inventoried a quoted `unsafe`");
+    }
+}
+
+/// Pragma text inside a string must neither open a region nor suppress
+/// anything: the `Vec::new` after it stays legal because no region is
+/// actually open.
+#[test]
+fn pragma_text_inside_strings_is_inert() {
+    let src = "fn f() -> Vec<u32> {\n    let s = \"// cc-lint: region(no_alloc)\";\n    let _ = s;\n    Vec::new()\n}\n";
+    let scan = scan_source("crates/runtime/src/router.rs", src);
+    assert!(scan.findings.is_empty(), "{:?}", scan.findings);
+    assert!(scan.suppressed.is_empty());
+}

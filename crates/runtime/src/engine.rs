@@ -27,6 +27,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+// cc-lint: allow(determinism) — wall clock feeds PhaseTimings diagnostics only, never any result or digest
 use std::time::Instant;
 
 use cc_sim::{ClusterContext, ExecutionModel, ExecutionReport, SimError};
@@ -182,6 +183,8 @@ impl<O: Send + 'static> Plane<O> {
     /// Steps every live node of chunk `k` for the current round and seals
     /// the chunk's arena. Runs on a worker thread; touches only
     /// chunk-`k`-owned mutable state plus read-shared delivered arenas.
+    // The per-round worker body: everything a round does between barriers.
+    // cc-lint: region(no_alloc)
     fn step_chunk(&self, k: usize) {
         let round = self.round.load(Ordering::Acquire);
         let staged_bank = &self.banks[(round & 1) as usize];
@@ -201,6 +204,7 @@ impl<O: Send + 'static> Plane<O> {
         }
         let mut slots = self.slots[k].lock().expect("chunk slots poisoned");
         let slots = &mut *slots;
+        // cc-lint: allow(determinism) — phase timing for diagnostics; folded into step_ns, not into results
         let step_start = Instant::now();
         // Scratch for inbox views, written fresh for every node (only the
         // first `filled` entries are ever read); hoisted out of the loop so
@@ -239,6 +243,7 @@ impl<O: Send + 'static> Plane<O> {
                 arena.note_halted();
             }
         }
+        // cc-lint: allow(determinism) — phase timing for diagnostics; folded into route_ns, not into results
         let route_start = Instant::now();
         self.step_ns.fetch_add(
             (route_start - step_start).as_nanos() as u64,
@@ -248,6 +253,7 @@ impl<O: Send + 'static> Plane<O> {
         self.route_ns
             .fetch_add(route_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
+    // cc-lint: end_region
 
     /// Consumes the plane and yields the finished per-node outputs, in node
     /// order.
@@ -348,6 +354,7 @@ impl Engine {
             rounds = round + 1;
             // Barrier: workers have finished (the executor joined); merge
             // the staged bank in fixed chunk order on the driving thread.
+            // cc-lint: allow(determinism) — phase timing for diagnostics; folded into check_ns, not into results
             let check_start = Instant::now();
             let merge = merge_round(
                 round,

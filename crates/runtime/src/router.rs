@@ -179,6 +179,7 @@ impl ChunkArena {
     }
 
     /// Clears the arena for a new round, keeping every allocation.
+    // cc-lint: region(no_alloc)
     pub(crate) fn reset(&mut self) {
         self.stage.clear();
         if self.routed {
@@ -191,6 +192,7 @@ impl ChunkArena {
         self.send_overflows.clear();
         self.wide_messages.clear();
     }
+    // cc-lint: end_region
 
     /// The staging columns programs append into (via
     /// [`crate::columns::SendSink`]).
@@ -230,6 +232,11 @@ impl ChunkArena {
     /// pass scatters `src`/`word` into destination-grouped order. Only if
     /// the OR mask exceeds `bits_limit` is the batch rescanned to attribute
     /// the too-wide messages (the rare path).
+    ///
+    /// `resize` on the high-water-capacity columns and the rare-path
+    /// `push`es are amortized-free in steady state (the `alloc_free` test
+    /// pins this); the allocating *constructors* stay banned in the region.
+    // cc-lint: region(no_alloc)
     pub(crate) fn seal(&mut self, round: u64, bits_limit: u32) {
         if self.stage.is_empty() {
             // Communication-free round: `index` is still all zeros from
@@ -250,6 +257,13 @@ impl ChunkArena {
         for d in 0..n {
             self.index[d + 1] += self.index[d];
         }
+        // Invariant: the per-destination counts sum to the batch size —
+        // every staged message is placed exactly once.
+        debug_assert_eq!(
+            self.index[n] as usize,
+            dst.len(),
+            "prefix-sum total disagrees with the staged message count"
+        );
         // Placement pass, fused with the digest and the width mask (it
         // walks the batch in generation order, which is exactly the digest
         // order, and senders ascend, so the digest-chunk cursor only moves
@@ -270,6 +284,19 @@ impl ChunkArena {
             self.sorted_word[*cursor as usize] = w;
             *cursor += 1;
         }
+        // Invariants of the in-place cursor trick: every group's cursor
+        // advanced exactly to the next group's start (so `index[d]` is now
+        // the *end* of group `d`, non-decreasing), and the last group ends
+        // at the batch boundary.
+        debug_assert!(
+            (1..n).all(|d| self.index[d - 1] <= self.index[d]),
+            "placement cursors are not monotone: some group over/under-ran"
+        );
+        debug_assert_eq!(
+            self.index[n - 1] as usize,
+            dst.len(),
+            "final placement cursor did not land on the segment boundary"
+        );
         if bits_of(or_mask) > bits_limit {
             // Rare path: attribute the offenders, in generation order.
             for (&s, &w) in src.iter().zip(word) {
@@ -279,6 +306,14 @@ impl ChunkArena {
                 }
             }
         }
+        // Invariant: the OR-mask fast path and the per-message rescan agree
+        // on how many words are too wide (zero when the mask stayed within
+        // the limit).
+        debug_assert_eq!(
+            self.wide_messages.len(),
+            word.iter().filter(|&&w| bits_of(w) > bits_limit).count(),
+            "width-mask fast path and attribution rescan disagree"
+        );
     }
 
     /// The sorted range for destination `d` (valid after
@@ -303,8 +338,8 @@ impl ChunkArena {
     /// (valid after [`ChunkArena::seal`]), ordered by sender.
     #[inline]
     pub(crate) fn slices_for(&self, d: usize) -> (&[u32], &[u64]) {
-        let range = self.range_for(d);
-        (&self.sorted_src[range.clone()], &self.sorted_word[range])
+        let std::ops::Range { start, end } = self.range_for(d);
+        (&self.sorted_src[start..end], &self.sorted_word[start..end])
     }
 
     /// Messages this chunk delivers to `d` (count only).
@@ -312,6 +347,7 @@ impl ChunkArena {
     fn count_for(&self, d: usize) -> usize {
         self.range_for(d).len()
     }
+    // cc-lint: end_region
 
     fn messages(&self) -> u64 {
         self.stage.len() as u64

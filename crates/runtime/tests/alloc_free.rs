@@ -26,20 +26,36 @@ static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
 
 // The engine itself is `#![forbid(unsafe_code)]`; this harness lives in a
 // separate test crate precisely so it can install an allocator shim.
+//
+// SAFETY: the shim upholds `GlobalAlloc`'s contract by construction — it
+// only increments atomics (which never allocate, unwind, or reenter the
+// allocator) and then forwards every call verbatim to `System`, so layout
+// handling, pointer validity, and thread safety are exactly `System`'s.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract (valid,
+    // nonzero-size layout); the layout is passed through unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        // SAFETY: same layout the caller guaranteed valid, forwarded once.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller guarantees `ptr` came from this allocator with this
+    // `layout`; every pointer we hand out comes from `System`, so the pair
+    // is valid for `System.dealloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: (ptr, layout) pair is valid per the fn-level contract.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: caller guarantees `ptr`/`layout` match a live allocation from
+    // this allocator and `new_size` is nonzero; all of it is forwarded to
+    // `System` untouched.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        // SAFETY: arguments forwarded unchanged under the same contract.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -1,0 +1,43 @@
+//! The workspace lints clean: the same gate CI enforces with
+//! `cc-lint --deny`, run in-process so a plain `cargo test` catches a
+//! violation before it ever reaches CI.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_deniable_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = cc_lint::lint_workspace(root).expect("workspace scan failed");
+    assert!(report.files > 0, "scanned no files — wrong root?");
+    let listing: Vec<String> = report.findings.iter().map(ToString::to_string).collect();
+    assert!(
+        report.is_clean(),
+        "cc-lint found {} standing finding(s):\n{}",
+        listing.len(),
+        listing.join("\n")
+    );
+}
+
+#[test]
+fn every_unsafe_site_is_inventoried_with_a_justification() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = cc_lint::lint_workspace(root).expect("workspace scan failed");
+    // The counting-allocator harness is the workspace's entire unsafe
+    // surface; growing it is a deliberate act that must update this count
+    // alongside a new SAFETY comment.
+    assert_eq!(
+        report.unsafe_sites.len(),
+        7,
+        "unsafe surface changed: {:?}",
+        report.unsafe_sites
+    );
+    for site in &report.unsafe_sites {
+        assert_eq!(site.file, "crates/runtime/tests/alloc_free.rs");
+        assert!(
+            site.justification.is_some(),
+            "unjustified unsafe at {}:{}",
+            site.file,
+            site.line
+        );
+    }
+}
