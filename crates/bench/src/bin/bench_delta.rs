@@ -1,9 +1,12 @@
-//! Prints the message-plane perf delta between two bench records (the
-//! committed baseline and a fresh `BENCH_PR3.json`), so the perf trajectory
-//! is machine-readable in CI logs. Informational only: always exits 0 —
-//! wall-clock on shared runners is too noisy to gate on.
+//! Prints the message-plane perf trajectory across a sequence of bench
+//! records — the committed per-PR history plus a fresh `BENCH_CURRENT.json`
+//! — so the perf story is machine-readable in CI logs: one delta line per
+//! consecutive pair, then the cumulative first-to-last line. Informational
+//! only: always exits 0 — wall-clock on shared runners is too noisy to
+//! gate on.
 //!
-//! Usage: `bench_delta BASELINE.json CURRENT.json`
+//! Usage: `bench_delta BENCH_BASELINE_PR2.json BENCH_PR3.json BENCH_CURRENT.json`
+//! (any number of records ≥ 2, oldest first).
 
 use std::process::ExitCode;
 
@@ -19,44 +22,83 @@ fn field(json: &str, key: &str) -> Option<f64> {
     value.parse().ok()
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    let [_, baseline_path, current_path] = &args[..] else {
-        eprintln!("usage: bench_delta BASELINE.json CURRENT.json");
-        return ExitCode::SUCCESS;
-    };
-    let read = |path: &str| match std::fs::read_to_string(path) {
-        Ok(s) => Some(s),
-        Err(e) => {
-            eprintln!("bench_delta: could not read {path}: {e}");
-            None
-        }
-    };
-    let (Some(baseline), Some(current)) = (read(baseline_path), read(current_path)) else {
-        return ExitCode::SUCCESS;
-    };
-    let (Some(before), Some(after)) = (
-        field(&baseline, "ns_per_msg"),
-        field(&current, "ns_per_msg"),
-    ) else {
-        eprintln!("bench_delta: records missing ns_per_msg");
-        return ExitCode::SUCCESS;
-    };
-    let n = field(&current, "n").unwrap_or(0.0);
-    let cpus = field(&current, "host_cpus").unwrap_or(0.0);
-    let speedup = before / after.max(f64::MIN_POSITIVE);
-    println!(
-        "message plane @ n={n:.0} ({cpus:.0} CPU host): {before:.1} ns/msg (baseline) -> \
-         {after:.1} ns/msg = {speedup:.2}x {}",
+/// One delta line: `a -> b: X ns/msg -> Y ns/msg = Z.ZZx faster`.
+fn delta_line(a_name: &str, a_ns: f64, b_name: &str, b_ns: f64) -> String {
+    let speedup = a_ns / b_ns.max(f64::MIN_POSITIVE);
+    format!(
+        "  {a_name} -> {b_name}: {a_ns:.1} -> {b_ns:.1} ns/msg = {speedup:.2}x {}",
         if speedup >= 1.0 { "faster" } else { "SLOWER" }
-    );
-    if let (Some(route), Some(step), Some(check)) = (
-        field(&current, "route_ns"),
-        field(&current, "step_ns"),
-        field(&current, "check_ns"),
-    ) {
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: bench_delta OLDEST.json [MID.json ...] NEWEST.json");
+        return ExitCode::SUCCESS;
+    }
+    // A record that is missing or malformed drops out of the trajectory
+    // with a warning instead of aborting it: CI should still see the
+    // deltas between the records it does have.
+    let records: Vec<(String, String)> = args
+        .iter()
+        .filter_map(|path| match std::fs::read_to_string(path) {
+            Ok(json) if field(&json, "ns_per_msg").is_some() => {
+                let name = path
+                    .rsplit('/')
+                    .next()
+                    .unwrap_or(path)
+                    .trim_end_matches(".json")
+                    .to_string();
+                Some((name, json))
+            }
+            Ok(_) => {
+                eprintln!("bench_delta: {path} has no ns_per_msg field, skipping");
+                None
+            }
+            Err(e) => {
+                eprintln!("bench_delta: could not read {path}: {e}");
+                None
+            }
+        })
+        .collect();
+    let Some(((first_name, first_json), (last_name, last_json))) =
+        records.first().zip(records.last())
+    else {
+        return ExitCode::SUCCESS;
+    };
+    if records.len() < 2 {
+        eprintln!("bench_delta: fewer than two readable records, nothing to compare");
+        return ExitCode::SUCCESS;
+    }
+    let ns = |json: &str| field(json, "ns_per_msg").expect("filtered above");
+    let n = field(last_json, "n").unwrap_or(0.0);
+    let cpus = field(last_json, "host_cpus").unwrap_or(0.0);
+    println!("message-plane perf trajectory @ n={n:.0} ({cpus:.0} CPU host):");
+    for pair in records.windows(2) {
+        let (a_name, a_json) = &pair[0];
+        let (b_name, b_json) = &pair[1];
+        println!("{}", delta_line(a_name, ns(a_json), b_name, ns(b_json)));
+    }
+    if records.len() > 2 {
         println!(
-            "  phase breakdown: route {:.0}us, step {:.0}us, check {:.0}us",
+            "{}",
+            delta_line(first_name, ns(first_json), last_name, ns(last_json))
+                .replace("  ", "  overall ")
+        );
+    }
+    if let (Some(route), Some(step), Some(check)) = (
+        field(last_json, "route_ns"),
+        field(last_json, "step_ns"),
+        field(last_json, "check_ns"),
+    ) {
+        // barrier_wait_ns only exists in records written after the trace
+        // plane landed; older records just omit the cell.
+        let barrier = field(last_json, "barrier_wait_ns").map_or(String::new(), |b| {
+            format!(", barrier wait {:.0}us", b / 1e3)
+        });
+        println!(
+            "  {last_name} phase breakdown: route {:.0}us, step {:.0}us, check {:.0}us{barrier}",
             route / 1e3,
             step / 1e3,
             check / 1e3

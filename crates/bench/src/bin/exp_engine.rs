@@ -1,7 +1,9 @@
 //! Regenerates the E9 backend-comparison table. Pass --quick for a fast,
 //! smaller-scale run; `--threads 1,4` to bench specific worker counts;
 //! `--dump PATH` to write engine outputs + ledger digests for a CI
-//! determinism diff.
+//! determinism diff; `--trace PATH` to capture one recorded run per
+//! instance and algorithm as Chrome trace-event JSON (open the file at
+//! ui.perfetto.dev) and print the per-round summary tables.
 
 use std::path::PathBuf;
 
@@ -10,6 +12,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut threads: Vec<usize> = cc_bench::experiments::e9_engine::DEFAULT_THREADS.to_vec();
     let mut dump: Option<PathBuf> = None;
+    let mut trace: Option<PathBuf> = None;
     let mut bench_json: Option<PathBuf> = None;
     let mut i = 1;
     while i < args.len() {
@@ -26,6 +29,13 @@ fn main() {
                 dump = Some(PathBuf::from(args.get(i + 1).expect("--dump needs a path")));
                 i += 2;
             }
+            "--trace" => {
+                trace = Some(PathBuf::from(
+                    args.get(i + 1)
+                        .expect("--trace needs a path, e.g. out.trace.json"),
+                ));
+                i += 2;
+            }
             "--bench-json" => {
                 bench_json = Some(PathBuf::from(
                     args.get(i + 1).expect("--bench-json needs a path"),
@@ -35,7 +45,7 @@ fn main() {
             _ => i += 1,
         }
     }
-    cc_bench::experiments::e9_engine::run_with(scale, &threads, dump.as_deref());
+    cc_bench::experiments::e9_engine::run_with(scale, &threads, dump.as_deref(), trace.as_deref());
     if let Some(path) = bench_json {
         cc_bench::experiments::e9_engine::write_bench_record(&path);
     }

@@ -1,7 +1,8 @@
 //! Runs every experiment (E1–E9) in sequence. Pass --quick for a fast run;
 //! pass --dump to also write the tracked message-plane benchmark record to
-//! `BENCH_PR3.json` (E9 ns/msg, engine rounds, host CPUs) so CI can archive
-//! it and diff it against the committed baseline.
+//! `BENCH_CURRENT.json` (E9 ns/msg, engine rounds, barrier wait, host CPUs)
+//! so CI can archive it and diff it against the committed trajectory
+//! (`BENCH_BASELINE_PR2.json`, `BENCH_PR3.json`).
 
 use std::path::Path;
 
@@ -19,6 +20,6 @@ fn main() {
     cc_bench::experiments::e8_ablation::run(scale);
     cc_bench::experiments::e9_engine::run(scale);
     if dump {
-        cc_bench::experiments::e9_engine::write_bench_record(Path::new("BENCH_PR3.json"));
+        cc_bench::experiments::e9_engine::write_bench_record(Path::new("BENCH_CURRENT.json"));
     }
 }

@@ -3,19 +3,30 @@
 //!
 //! For the trial coloring and Luby MIS, this measures wall-clock time of the
 //! centralized implementation against the engine at several worker-thread
-//! counts, across graph sizes. Model-accounting columns (rounds, words,
-//! in-model) come from the same [`cc_sim::ExecutionReport`] machinery for
-//! both backends. The experiment also *enforces* the engine's determinism
-//! guarantee in-process: the outputs and message-ledger digests of every
-//! thread count must be identical, and `run_with` can dump them to a file so
-//! CI can diff two independent processes.
+//! counts, across graph sizes (uniform G(n, p) and a skewed power-law
+//! workload whose hubs stress per-chunk load balance). Model-accounting
+//! columns (rounds, words, in-model) come from the same
+//! [`cc_sim::ExecutionReport`] machinery for both backends. The experiment
+//! also *enforces* the engine's determinism guarantee in-process: the
+//! outputs and message-ledger digests of every thread count must be
+//! identical, and `run_with` can dump them to a file so CI can diff two
+//! independent processes.
+//!
+//! When a trace path is given, each instance is re-run once per algorithm
+//! with a `cc-trace` [`RingRecorder`] attached (at the highest benched
+//! thread count, outside the timed runs so the wall-clock columns stay
+//! clean). The captured per-round route/step/check/barrier spans are
+//! exported as one Chrome trace-event JSON file — loadable at
+//! `ui.perfetto.dev` — and the per-round summary tables are printed.
 
 use std::io::Write;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 use cc_mis::engine::EngineLubyMis;
 use cc_mis::luby::LubyMis;
+use cc_runtime::trace::{ChromeTrace, RingRecorder};
 use cc_sim::{ClusterContext, ExecutionModel};
 use clique_coloring::baselines::engine_trial::EngineTrialColoring;
 use clique_coloring::baselines::trial::RandomizedTrialColoring;
@@ -27,33 +38,66 @@ use crate::table::Table;
 use crate::Scale;
 
 use super::graph_stats;
+use cc_graph::csr::CsrGraph;
 use cc_graph::generators;
 use cc_graph::instance::ListColoringInstance;
 
 /// The thread counts benched by default.
 pub const DEFAULT_THREADS: &[usize] = &[1, 2, 4];
 
+/// Edges per node of the skewed-degree (preferential-attachment) workload.
+/// Heavy hubs concentrate messages in a few sender chunks, which the trace
+/// plane's chunk-imbalance counter makes visible.
+pub const POWER_LAW_EDGES_PER_NODE: usize = 8;
+
 /// Runs the experiment with the default thread sweep.
 pub fn run(scale: Scale) {
-    run_with(scale, DEFAULT_THREADS, None);
+    run_with(scale, DEFAULT_THREADS, None, None);
 }
 
-/// Runs the experiment for the given worker-thread counts, optionally
-/// dumping every engine output and ledger digest to `dump` (one line per
-/// fact, sorted) so two separate runs can be diffed byte-for-byte.
-///
-/// # Panics
-///
-/// Panics if the engine produces different results or ledgers for different
-/// thread counts — the determinism guarantee is part of what this
-/// experiment verifies.
-pub fn run_with(scale: Scale, threads: &[usize], dump: Option<&Path>) {
+/// The benched workloads: uniform G(n, p) at several sizes plus one
+/// power-law graph whose degree skew exercises chunk load imbalance.
+fn instances(scale: Scale) -> Vec<(String, CsrGraph)> {
     // BENCH_N (512) is included at both scales so the table's before/after
     // ns/msg column covers the size the tracked benchmark record uses.
     let sizes = match scale {
         Scale::Quick => vec![200, 400, BENCH_N],
         Scale::Full => vec![400, BENCH_N, 1600, 3000],
     };
+    let mut out = Vec::new();
+    for n in sizes {
+        // Average degree ~16: sparse enough that the centralized loop and
+        // the engine run the same O(log n) phase count, dense enough that
+        // messages dominate.
+        let p = (16.0 / n as f64).min(0.5);
+        out.push((
+            format!("gnp-{n}"),
+            generators::gnp(n, p, 77).expect("E9 gnp graph"),
+        ));
+    }
+    let plaw_n = match scale {
+        Scale::Quick => 400,
+        Scale::Full => 1600,
+    };
+    out.push((
+        format!("plaw-{plaw_n}"),
+        generators::power_law(plaw_n, POWER_LAW_EDGES_PER_NODE, 77).expect("E9 power-law graph"),
+    ));
+    out
+}
+
+/// Runs the experiment for the given worker-thread counts, optionally
+/// dumping every engine output and ledger digest to `dump` (one line per
+/// fact, sorted) so two separate runs can be diffed byte-for-byte, and
+/// optionally writing a Chrome trace-event JSON capture of one traced
+/// re-run per instance and algorithm to `trace`.
+///
+/// # Panics
+///
+/// Panics if the engine produces different results or ledgers for different
+/// thread counts (or with vs without a recorder attached) — the determinism
+/// guarantee is part of what this experiment verifies.
+pub fn run_with(scale: Scale, threads: &[usize], dump: Option<&Path>, trace: Option<&Path>) {
     let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
     println!(
         "E9 host parallelism: {host_cpus} CPU(s). The engine's step phase is \
@@ -69,6 +113,7 @@ pub fn run_with(scale: Scale, threads: &[usize], dump: Option<&Path>) {
         "rounds",
         "words",
         "wall (ms)",
+        "barrier (us)",
         "ns/msg",
         "ns/msg @PR2",
         "speedup",
@@ -84,17 +129,16 @@ pub fn run_with(scale: Scale, threads: &[usize], dump: Option<&Path>) {
             format!("{ratio:.2}")
         }
     };
+    let barrier_us = |barrier_wait_ns: u64| (barrier_wait_ns / 1_000).to_string();
+    let traced_threads = threads.iter().copied().max().unwrap_or(1);
+    let mut chrome = trace.map(|_| ChromeTrace::new());
+    let mut next_pid: u32 = 0;
     let mut records = Vec::new();
     let mut dump_lines: Vec<String> = Vec::new();
-    for n in sizes {
-        // Average degree ~16: sparse enough that the centralized loop and
-        // the engine run the same O(log n) phase count, dense enough that
-        // messages dominate.
-        let p = (16.0 / n as f64).min(0.5);
-        let graph = generators::gnp(n, p, 77).expect("E9 graph");
+    for (label, graph) in instances(scale) {
+        let n = graph.node_count();
         let instance = ListColoringInstance::delta_plus_one(&graph).expect("E9 instance");
         let stats = graph_stats(&instance);
-        let label = format!("gnp-{n}");
         let model = ExecutionModel::congested_clique(n);
 
         // --- Trial coloring: centralized reference. ---
@@ -113,6 +157,7 @@ pub fn run_with(scale: Scale, threads: &[usize], dump: Option<&Path>) {
             central.report.rounds.to_string(),
             central.report.communication_words.to_string(),
             format!("{central_ms:.1}"),
+            "-".into(),
             "-".into(),
             "-".into(),
             "1.00".into(),
@@ -163,8 +208,9 @@ pub fn run_with(scale: Scale, threads: &[usize], dump: Option<&Path>) {
                 out.outcome.report.rounds.to_string(),
                 out.outcome.report.communication_words.to_string(),
                 format!("{ms:.1}"),
+                barrier_us(out.timings.barrier_wait_ns),
                 format!("{ns_per_msg:.0}"),
-                pr2_cell("trial", n, t),
+                pr2_cell("trial", &label, t),
                 speedup_cell(central_ms / ms),
                 yes_no(out.outcome.report.within_limits()),
             ]);
@@ -184,15 +230,46 @@ pub fn run_with(scale: Scale, threads: &[usize], dump: Option<&Path>) {
                 .with_extra("route_ns", out.timings.route_ns as f64)
                 .with_extra("step_ns", out.timings.step_ns as f64)
                 .with_extra("check_ns", out.timings.check_ns as f64)
+                .with_extra("barrier_wait_ns", out.timings.barrier_wait_ns as f64)
                 .with_extra("engine_rounds", out.engine_rounds as f64),
             );
             if reference.is_none() {
-                dump_lines.push(format!("trial n={n} digest={:016x}", out.ledger.digest()));
+                dump_lines.push(format!("trial {label} digest={:016x}", out.ledger.digest()));
                 for (v, c) in out.outcome.coloring.assignments() {
-                    dump_lines.push(format!("trial n={n} {v}={c}"));
+                    dump_lines.push(format!("trial {label} {v}={c}"));
                 }
                 reference = Some(out);
             }
+        }
+
+        // --- Trial coloring: traced re-run (outside the timed loops). ---
+        if let Some(chrome) = chrome.as_mut() {
+            let runner = EngineTrialColoring {
+                threads: traced_threads,
+                ..EngineTrialColoring::default()
+            };
+            let recorder = Arc::new(RingRecorder::default());
+            let out = runner
+                .run_with_recorder(&instance, model.clone(), Arc::clone(&recorder))
+                .expect("E9 traced trial");
+            let reference = reference.as_ref().expect("timed runs precede traced run");
+            assert_eq!(
+                reference.outcome.coloring, out.outcome.coloring,
+                "attaching a recorder changed the trial coloring"
+            );
+            assert_eq!(
+                reference.ledger, out.ledger,
+                "attaching a recorder changed the trial ledger"
+            );
+            chrome.add_process(
+                next_pid,
+                &format!("{label} trial-coloring t={traced_threads}"),
+                &recorder.events(),
+            );
+            next_pid += 1;
+            let summary = out.trace.expect("recorded run carries a trace summary");
+            println!("\ntrace: {label} / trial-coloring (t={traced_threads})");
+            print!("{}", summary.render());
         }
 
         // --- Luby MIS: centralized reference. ---
@@ -211,6 +288,7 @@ pub fn run_with(scale: Scale, threads: &[usize], dump: Option<&Path>) {
             central_report.rounds.to_string(),
             central_report.communication_words.to_string(),
             format!("{central_mis_ms:.1}"),
+            "-".into(),
             "-".into(),
             "-".into(),
             "1.00".into(),
@@ -253,8 +331,9 @@ pub fn run_with(scale: Scale, threads: &[usize], dump: Option<&Path>) {
                 out.report.rounds.to_string(),
                 out.report.communication_words.to_string(),
                 format!("{ms:.1}"),
+                barrier_us(out.timings.barrier_wait_ns),
                 format!("{ns_per_msg:.0}"),
-                pr2_cell("luby", n, t),
+                pr2_cell("luby", &label, t),
                 speedup_cell(central_mis_ms / ms),
                 yes_no(out.report.within_limits()),
             ]);
@@ -274,15 +353,48 @@ pub fn run_with(scale: Scale, threads: &[usize], dump: Option<&Path>) {
                 .with_extra("route_ns", out.timings.route_ns as f64)
                 .with_extra("step_ns", out.timings.step_ns as f64)
                 .with_extra("check_ns", out.timings.check_ns as f64)
+                .with_extra("barrier_wait_ns", out.timings.barrier_wait_ns as f64)
                 .with_extra("phases", out.result.phases as f64),
             );
             if mis_reference.is_none() {
-                dump_lines.push(format!("luby n={n} digest={:016x}", out.ledger.digest()));
+                dump_lines.push(format!("luby {label} digest={:016x}", out.ledger.digest()));
                 for (v, &in_set) in out.result.in_set.iter().enumerate() {
-                    dump_lines.push(format!("luby n={n} v{v}={}", u8::from(in_set)));
+                    dump_lines.push(format!("luby {label} v{v}={}", u8::from(in_set)));
                 }
                 mis_reference = Some(out);
             }
+        }
+
+        // --- Luby MIS: traced re-run (outside the timed loops). ---
+        if let Some(chrome) = chrome.as_mut() {
+            let runner = EngineLubyMis {
+                threads: traced_threads,
+                ..EngineLubyMis::default()
+            };
+            let recorder = Arc::new(RingRecorder::default());
+            let out = runner
+                .run_with_recorder(&graph, model.clone(), Arc::clone(&recorder))
+                .expect("E9 traced luby");
+            let reference = mis_reference
+                .as_ref()
+                .expect("timed runs precede traced run");
+            assert_eq!(
+                reference.result, out.result,
+                "attaching a recorder changed the MIS"
+            );
+            assert_eq!(
+                reference.ledger, out.ledger,
+                "attaching a recorder changed the MIS ledger"
+            );
+            chrome.add_process(
+                next_pid,
+                &format!("{label} luby-mis t={traced_threads}"),
+                &recorder.events(),
+            );
+            next_pid += 1;
+            let summary = out.trace.expect("recorded run carries a trace summary");
+            println!("\ntrace: {label} / luby-mis (t={traced_threads})");
+            print!("{}", summary.render());
         }
     }
     table.print("E9  execution backends: centralized accounting simulator vs cc-runtime engine");
@@ -298,6 +410,17 @@ pub fn run_with(scale: Scale, threads: &[usize], dump: Option<&Path>) {
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
         }
     }
+    if let (Some(chrome), Some(path)) = (&chrome, trace) {
+        match chrome.write_to(path) {
+            Ok(()) => println!(
+                "wrote Chrome trace ({} events) to {} — load it at ui.perfetto.dev \
+                 or chrome://tracing",
+                chrome.events(),
+                path.display()
+            ),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
 }
 
 fn yes_no(b: bool) -> String {
@@ -307,30 +430,32 @@ fn yes_no(b: bool) -> String {
 /// ns/msg measured at the PR 2 router (pre-columnar, `Vec<Message>`
 /// arenas) on the reference 1-CPU dev host, single worker thread — the
 /// "before" of the table's before/after column. Rows without a recorded
-/// baseline show "-".
-fn pr2_ns_per_msg(algorithm: &str, n: usize, threads: usize) -> Option<f64> {
+/// baseline (including the power-law workload, added later) show "-".
+fn pr2_ns_per_msg(algorithm: &str, label: &str, threads: usize) -> Option<f64> {
     if threads != 1 {
         return None;
     }
-    match (algorithm, n) {
-        ("trial", 200) => Some(99.8),
-        ("trial", 400) => Some(102.8),
-        ("trial", BENCH_N) => Some(71.4),
-        ("luby", 200) => Some(78.3),
-        ("luby", 400) => Some(88.8),
+    match (algorithm, label) {
+        ("trial", "gnp-200") => Some(99.8),
+        ("trial", "gnp-400") => Some(102.8),
+        ("trial", "gnp-512") => Some(71.4),
+        ("luby", "gnp-200") => Some(78.3),
+        ("luby", "gnp-400") => Some(88.8),
         _ => None,
     }
 }
 
-fn pr2_cell(algorithm: &str, n: usize, threads: usize) -> String {
-    pr2_ns_per_msg(algorithm, n, threads).map_or_else(|| "-".to_string(), |v| format!("{v:.0}"))
+fn pr2_cell(algorithm: &str, label: &str, threads: usize) -> String {
+    pr2_ns_per_msg(algorithm, label, threads).map_or_else(|| "-".to_string(), |v| format!("{v:.0}"))
 }
 
 /// The instance size used for the tracked message-plane benchmark record.
 pub const BENCH_N: usize = 512;
 
-/// One tracked measurement of the engine message plane, serialized to
-/// `BENCH_PR3.json` so CI can diff the perf trajectory across PRs.
+/// One tracked measurement of the engine message plane, serialized as a
+/// flat JSON record so CI can diff the perf trajectory across PRs (the
+/// committed history is `BENCH_BASELINE_PR2.json` and `BENCH_PR3.json`;
+/// each CI run writes a fresh `BENCH_CURRENT.json` next to them).
 #[derive(Debug, Clone)]
 pub struct PlaneBenchRecord {
     /// Nodes in the benched instance.
@@ -348,6 +473,9 @@ pub struct PlaneBenchRecord {
     /// Per-phase breakdown of the best run, in nanoseconds:
     /// (route, step, check). Zero when the engine does not report timings.
     pub phase_ns: (u64, u64, u64),
+    /// Summed per-chunk barrier wait of the best run, in nanoseconds
+    /// (absent from records written before the trace plane existed).
+    pub barrier_wait_ns: u64,
 }
 
 impl PlaneBenchRecord {
@@ -358,7 +486,7 @@ impl PlaneBenchRecord {
              \"host_cpus\": {},\n  \"engine_rounds\": {},\n  \
              \"total_messages\": {},\n  \"wall_ms\": {:.3},\n  \
              \"ns_per_msg\": {:.2},\n  \"route_ns\": {},\n  \"step_ns\": {},\n  \
-             \"check_ns\": {}\n}}\n",
+             \"check_ns\": {},\n  \"barrier_wait_ns\": {}\n}}\n",
             self.n,
             self.host_cpus,
             self.engine_rounds,
@@ -368,6 +496,7 @@ impl PlaneBenchRecord {
             self.phase_ns.0,
             self.phase_ns.1,
             self.phase_ns.2,
+            self.barrier_wait_ns,
         )
     }
 }
@@ -405,6 +534,7 @@ pub fn bench_message_plane() -> PlaneBenchRecord {
             out.timings.step_ns,
             out.timings.check_ns,
         ),
+        barrier_wait_ns: out.timings.barrier_wait_ns,
     }
 }
 

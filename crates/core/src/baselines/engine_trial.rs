@@ -9,10 +9,13 @@
 //! returned [`cc_runtime::MessageLedger`] is the determinism witness:
 //! identical seeds give identical ledgers for any thread count.
 
+use std::sync::Arc;
+
 use cc_graph::coloring::Coloring;
 use cc_graph::instance::ListColoringInstance;
 use cc_graph::{Color, NodeId};
 use cc_runtime::programs::trial::TrialColoringProgram;
+use cc_runtime::trace::{Recorder, RingRecorder, TraceSummary};
 use cc_runtime::{Engine, EngineConfig, MessageLedger, NodeProgram, PhaseTimings};
 use cc_sim::ExecutionModel;
 
@@ -54,11 +57,23 @@ pub struct EngineTrialOutcome {
     pub ledger: MessageLedger,
     /// Engine rounds executed (including communication-free ones).
     pub engine_rounds: u64,
-    /// Per-phase wall-clock breakdown (route / step / check).
+    /// Per-phase wall-clock breakdown (route / step / check / barrier).
     pub timings: PhaseTimings,
+    /// The per-round trace aggregation, when run with a recorder.
+    pub trace: Option<TraceSummary>,
 }
 
 impl EngineTrialColoring {
+    /// The engine configuration this baseline runs under.
+    fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            threads: self.threads,
+            max_rounds: self.max_rounds,
+            label: "engine-trial".to_string(),
+            ..EngineConfig::default()
+        }
+    }
+
     /// Runs the baseline on the engine.
     ///
     /// # Errors
@@ -69,6 +84,35 @@ impl EngineTrialColoring {
         &self,
         instance: &ListColoringInstance,
         model: ExecutionModel,
+    ) -> Result<EngineTrialOutcome, CoreError> {
+        self.run_on(instance, model, Engine::new(self.engine_config()))
+    }
+
+    /// Runs the baseline with a trace recorder attached: per-round spans,
+    /// counters, and histograms land in `recorder` (and the outcome's
+    /// `trace` summary) without changing the coloring, report, or ledger.
+    ///
+    /// # Errors
+    ///
+    /// As [`EngineTrialColoring::run`].
+    pub fn run_with_recorder(
+        &self,
+        instance: &ListColoringInstance,
+        model: ExecutionModel,
+        recorder: Arc<RingRecorder>,
+    ) -> Result<EngineTrialOutcome, CoreError> {
+        self.run_on(
+            instance,
+            model,
+            Engine::with_recorder(self.engine_config(), recorder),
+        )
+    }
+
+    fn run_on<R: Recorder>(
+        &self,
+        instance: &ListColoringInstance,
+        model: ExecutionModel,
+        engine: Engine<R>,
     ) -> Result<EngineTrialOutcome, CoreError> {
         instance.validate()?;
         let graph = instance.graph();
@@ -83,12 +127,6 @@ impl EngineTrialColoring {
                 )) as _
             })
             .collect();
-        let engine = Engine::new(EngineConfig {
-            threads: self.threads,
-            max_rounds: self.max_rounds,
-            label: "engine-trial".to_string(),
-            ..EngineConfig::default()
-        });
         let run = engine.run(model, programs)?;
         let mut coloring = Coloring::empty(n);
         let mut uncolored = Vec::new();
@@ -117,6 +155,7 @@ impl EngineTrialColoring {
             ledger: run.ledger,
             engine_rounds: run.rounds,
             timings: run.timings,
+            trace: run.trace,
         })
     }
 }
@@ -173,6 +212,26 @@ mod tests {
             assert_eq!(single.ledger, multi.ledger);
             assert_eq!(single.outcome.report, multi.outcome.report);
         }
+    }
+
+    #[test]
+    fn recorded_run_matches_plain_run_and_carries_a_summary() {
+        let graph = generators::gnp(100, 0.1, 3).unwrap();
+        let instance = ListColoringInstance::delta_plus_one(&graph).unwrap();
+        let model = ExecutionModel::congested_clique(100);
+        let plain = EngineTrialColoring::default()
+            .run(&instance, model.clone())
+            .unwrap();
+        assert!(plain.trace.is_none());
+        let recorder = Arc::new(RingRecorder::default());
+        let traced = EngineTrialColoring::default()
+            .run_with_recorder(&instance, model, Arc::clone(&recorder))
+            .unwrap();
+        assert_eq!(plain.outcome.coloring, traced.outcome.coloring);
+        assert_eq!(plain.ledger, traced.ledger);
+        let summary = traced.trace.unwrap();
+        assert_eq!(summary.rounds.len() as u64, traced.engine_rounds);
+        assert!(recorder.recorded_events() > 0);
     }
 
     #[test]

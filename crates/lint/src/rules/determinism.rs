@@ -16,12 +16,15 @@ use crate::report::{Finding, Rule};
 use crate::rules::{push, FileContext};
 
 /// Modules in which *all* code is held to the determinism rule (the
-/// message plane and the engine driver).
-const HOT_MODULES: [&str; 4] = [
+/// message plane, the engine driver, and the trace plane's hot path —
+/// recording must never introduce a result-visible determinism source).
+const HOT_MODULES: [&str; 6] = [
     "crates/runtime/src/router.rs",
     "crates/runtime/src/columns.rs",
     "crates/runtime/src/engine.rs",
     "crates/runtime/src/pool.rs",
+    "crates/trace/src/ring.rs",
+    "crates/trace/src/recorder.rs",
 ];
 
 /// Hash-order-dependent collections and hashers.

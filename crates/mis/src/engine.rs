@@ -6,8 +6,11 @@
 //! actual priority/join/leave messages (three engine rounds per phase) with
 //! bandwidth and message-width budgets checked at delivery time.
 
+use std::sync::Arc;
+
 use cc_graph::csr::CsrGraph;
 use cc_runtime::programs::luby::LubyMisProgram;
+use cc_runtime::trace::{Recorder, RingRecorder, TraceSummary};
 use cc_runtime::{word_bits_limit, Engine, EngineConfig, MessageLedger, NodeProgram, PhaseTimings};
 use cc_sim::{ExecutionModel, ExecutionReport, SimError};
 
@@ -49,11 +52,23 @@ pub struct EngineMisOutcome {
     pub report: ExecutionReport,
     /// The engine's message ledger (digest + per-round loads).
     pub ledger: MessageLedger,
-    /// Per-phase wall-clock breakdown (route / step / check).
+    /// Per-phase wall-clock breakdown (route / step / check / barrier).
     pub timings: PhaseTimings,
+    /// The per-round trace aggregation, when run with a recorder.
+    pub trace: Option<TraceSummary>,
 }
 
 impl EngineLubyMis {
+    /// The engine configuration this algorithm runs under.
+    fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            threads: self.threads,
+            max_rounds: self.max_rounds,
+            label: "engine-luby".to_string(),
+            ..EngineConfig::default()
+        }
+    }
+
     /// Runs the algorithm on `graph` under `model`.
     ///
     /// # Errors
@@ -65,6 +80,35 @@ impl EngineLubyMis {
         graph: &CsrGraph,
         model: ExecutionModel,
     ) -> Result<EngineMisOutcome, SimError> {
+        self.run_on(graph, model, Engine::new(self.engine_config()))
+    }
+
+    /// Runs the algorithm with a trace recorder attached: per-round spans,
+    /// counters, and histograms land in `recorder` (and the outcome's
+    /// `trace` summary) without changing the MIS, report, or ledger.
+    ///
+    /// # Errors
+    ///
+    /// As [`EngineLubyMis::run`].
+    pub fn run_with_recorder(
+        &self,
+        graph: &CsrGraph,
+        model: ExecutionModel,
+        recorder: Arc<RingRecorder>,
+    ) -> Result<EngineMisOutcome, SimError> {
+        self.run_on(
+            graph,
+            model,
+            Engine::with_recorder(self.engine_config(), recorder),
+        )
+    }
+
+    fn run_on<R: Recorder>(
+        &self,
+        graph: &CsrGraph,
+        model: ExecutionModel,
+        engine: Engine<R>,
+    ) -> Result<EngineMisOutcome, SimError> {
         let n = graph.node_count();
         let bits = word_bits_limit(n);
         let programs: Vec<Box<dyn NodeProgram<Output = Option<bool>>>> = graph
@@ -74,12 +118,6 @@ impl EngineLubyMis {
                 Box::new(LubyMisProgram::new(v.0, neighbors, bits, self.seed)) as _
             })
             .collect();
-        let engine = Engine::new(EngineConfig {
-            threads: self.threads,
-            max_rounds: self.max_rounds,
-            label: "engine-luby".to_string(),
-            ..EngineConfig::default()
-        });
         let run = engine.run(model, programs)?;
         // If the round cap cut the protocol short, some nodes are still
         // undecided (`None`): complete deterministically by greedily joining
@@ -104,6 +142,7 @@ impl EngineLubyMis {
             report: run.report,
             ledger: run.ledger,
             timings: run.timings,
+            trace: run.trace,
         })
     }
 }
@@ -143,6 +182,22 @@ mod tests {
             assert_eq!(single.ledger, multi.ledger);
             assert_eq!(single.report, multi.report);
         }
+    }
+
+    #[test]
+    fn recorded_run_matches_plain_run_and_carries_a_summary() {
+        let g = generators::gnp(100, 0.08, 11).unwrap();
+        let model = ExecutionModel::congested_clique(100);
+        let plain = EngineLubyMis::default().run(&g, model.clone()).unwrap();
+        assert!(plain.trace.is_none());
+        let recorder = Arc::new(RingRecorder::default());
+        let traced = EngineLubyMis::default()
+            .run_with_recorder(&g, model, Arc::clone(&recorder))
+            .unwrap();
+        assert_eq!(plain.result, traced.result);
+        assert_eq!(plain.ledger, traced.ledger);
+        assert!(traced.trace.unwrap().events > 0);
+        assert!(recorder.recorded_events() > 0);
     }
 
     #[test]

@@ -31,6 +31,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use cc_sim::{ClusterContext, ExecutionModel, ExecutionReport, SimError};
+use cc_trace::{HistKind, NoopRecorder, Phase, Recorder, TraceSummary, DRIVER_LANE};
 
 use crate::columns::{Inbox, InboxSegment};
 use crate::env::NodeEnv;
@@ -94,6 +95,10 @@ pub struct PhaseTimings {
     /// Checking: the driver's barrier merge — ledger folds, bandwidth
     /// verdicts, violation recording, round charging.
     pub check_ns: u64,
+    /// Barrier waiting: time sealed chunks sat finished while the round
+    /// barrier waited for the stragglers, summed across chunks — the
+    /// engine's load-imbalance signal (0 on single-chunk runs).
+    pub barrier_wait_ns: u64,
 }
 
 /// The result of one engine execution.
@@ -112,8 +117,11 @@ pub struct EngineOutcome<O> {
     pub rounds: u64,
     /// Whether every node halted (false only when `max_rounds` was hit).
     pub all_halted: bool,
-    /// Per-phase wall-clock breakdown (route / step / check).
+    /// Per-phase wall-clock breakdown (route / step / check / barrier).
     pub timings: PhaseTimings,
+    /// The per-round trace aggregation, when the engine ran with a
+    /// recording [`Recorder`] attached (`None` under [`NoopRecorder`]).
+    pub trace: Option<TraceSummary>,
 }
 
 /// The per-chunk program state: only the owning chunk's worker touches it
@@ -127,7 +135,7 @@ struct ChunkSlots<O> {
 /// round counter selecting which bank is staged and which is delivered.
 /// Built once per run — workers reference it through one `Arc` for the
 /// run's entire lifetime, so rounds allocate nothing.
-struct Plane<O> {
+struct Plane<O, R> {
     n: usize,
     chunks: usize,
     bits_limit: u32,
@@ -142,14 +150,24 @@ struct Plane<O> {
     route_ns: AtomicU64,
     /// Nanoseconds spent stepping programs across all workers.
     step_ns: AtomicU64,
+    /// When chunk `k` sealed this round, in nanoseconds since `epoch`;
+    /// the driver reads these at the barrier to attribute barrier wait.
+    finish_ns: Vec<AtomicU64>,
+    /// The run's timestamp origin: every recorded nanosecond offset is
+    /// relative to this instant, so spans from all lanes share one axis.
+    // cc-lint: allow(determinism) — the epoch anchors diagnostic timestamps only, never any result or digest
+    epoch: Instant,
+    /// The trace sink; [`NoopRecorder`] by default (zero cost).
+    recorder: Arc<R>,
 }
 
-impl<O: Send + 'static> Plane<O> {
+impl<O: Send + 'static, R: Recorder> Plane<O, R> {
     fn new(
         programs: Vec<Box<dyn NodeProgram<Output = O>>>,
         bits_limit: u32,
         bandwidth_limit: usize,
         threads: usize,
+        recorder: Arc<R>,
     ) -> Self {
         let n = programs.len();
         let chunks = exec_chunk_count(n, threads);
@@ -177,6 +195,10 @@ impl<O: Send + 'static> Plane<O> {
             slots,
             route_ns: AtomicU64::new(0),
             step_ns: AtomicU64::new(0),
+            finish_ns: (0..chunks).map(|_| AtomicU64::new(0)).collect(),
+            // cc-lint: allow(determinism) — the epoch anchors diagnostic timestamps only, never any result or digest
+            epoch: Instant::now(),
+            recorder,
         }
     }
 
@@ -230,6 +252,10 @@ impl<O: Send + 'static> Plane<O> {
                 }
             }
             let inbox = Inbox::new(i as u32, &segments[..filled]);
+            if R::ENABLED {
+                self.recorder
+                    .observe(k, HistKind::InboxLen, inbox.len() as u64);
+            }
             let before = arena.staged();
             let program = slots.programs[j].as_mut().expect("program taken early");
             let status = {
@@ -243,15 +269,30 @@ impl<O: Send + 'static> Plane<O> {
                 arena.note_halted();
             }
         }
-        // cc-lint: allow(determinism) — phase timing for diagnostics; folded into route_ns, not into results
+        // cc-lint: allow(determinism) — phase timing for diagnostics; folded into step_ns, not into results
         let route_start = Instant::now();
         self.step_ns.fetch_add(
             (route_start - step_start).as_nanos() as u64,
             Ordering::Relaxed,
         );
-        arena.seal(round, self.bits_limit);
-        self.route_ns
-            .fetch_add(route_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let route_ts = (route_start - self.epoch).as_nanos() as u64;
+        arena.seal(round, self.bits_limit, k, route_ts, &*self.recorder);
+        // cc-lint: allow(determinism) — phase timing for diagnostics; folded into route_ns, not into results
+        let route_end = Instant::now();
+        self.route_ns.fetch_add(
+            (route_end - route_start).as_nanos() as u64,
+            Ordering::Relaxed,
+        );
+        // Always stored (one relaxed word): the driver turns these into
+        // the barrier-wait attribution in PhaseTimings, recorder or not.
+        let sealed_ts = (route_end - self.epoch).as_nanos() as u64;
+        self.finish_ns[k].store(sealed_ts, Ordering::Relaxed);
+        if R::ENABLED {
+            let step_ts = (step_start - self.epoch).as_nanos() as u64;
+            self.recorder.span(k, Phase::Step, round, step_ts, route_ts);
+            self.recorder
+                .span(k, Phase::Route, round, route_ts, sealed_ts);
+        }
     }
     // cc-lint: end_region
 
@@ -271,21 +312,61 @@ impl<O: Send + 'static> Plane<O> {
 
 /// The round-synchronous message-passing engine.
 ///
+/// Generic over a [`Recorder`] trace sink; the default [`NoopRecorder`]
+/// compiles all instrumentation out, and attaching a
+/// [`cc_trace::RingRecorder`] (via [`Engine::with_recorder`]) captures
+/// per-round spans, counters, and histograms without changing any result,
+/// report, or ledger digest — recording is diagnostics-only by
+/// construction.
+///
 /// See the crate docs for the model contract and the determinism guarantee.
-#[derive(Debug, Clone, Default)]
-pub struct Engine {
+#[derive(Debug)]
+pub struct Engine<R: Recorder = NoopRecorder> {
     config: EngineConfig,
+    recorder: Arc<R>,
+}
+
+impl<R: Recorder> Clone for Engine<R> {
+    fn clone(&self) -> Self {
+        Engine {
+            config: self.config.clone(),
+            recorder: Arc::clone(&self.recorder),
+        }
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(EngineConfig::default())
+    }
 }
 
 impl Engine {
-    /// An engine with the given configuration.
+    /// An engine with the given configuration and no recording.
     pub fn new(config: EngineConfig) -> Self {
-        Engine { config }
+        Engine {
+            config,
+            recorder: Arc::new(NoopRecorder),
+        }
+    }
+}
+
+impl<R: Recorder> Engine<R> {
+    /// An engine recording every run into `recorder`. The recorder is
+    /// shared, not consumed: keep a clone of the `Arc` to export the
+    /// capture after the run (or read [`EngineOutcome::trace`]).
+    pub fn with_recorder(config: EngineConfig, recorder: Arc<R>) -> Self {
+        Engine { config, recorder }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The engine's trace sink.
+    pub fn recorder(&self) -> &Arc<R> {
+        &self.recorder
     }
 
     /// Runs one program per clique node until every node halts (or
@@ -323,6 +404,11 @@ impl Engine {
                 rounds: 0,
                 all_halted: true,
                 timings: PhaseTimings::default(),
+                trace: if R::ENABLED {
+                    self.recorder.summary()
+                } else {
+                    None
+                },
             });
         }
         let bits_limit = word_bits_limit(n);
@@ -337,6 +423,7 @@ impl Engine {
             bits_limit,
             bandwidth_limit,
             self.config.threads,
+            Arc::clone(&self.recorder),
         ));
         let chunks = plane.chunks;
         // One closure for the whole run; the round counter parameterizes it.
@@ -348,14 +435,28 @@ impl Engine {
         let mut rounds = 0u64;
         let mut all_halted = false;
         let mut check_ns = 0u64;
+        let mut barrier_wait_ns = 0u64;
         for round in 0..self.config.max_rounds {
             plane.round.store(round, Ordering::Release);
             executor.run_indexed(chunks, &step);
             rounds = round + 1;
-            // Barrier: workers have finished (the executor joined); merge
-            // the staged bank in fixed chunk order on the driving thread.
-            // cc-lint: allow(determinism) — phase timing for diagnostics; folded into check_ns, not into results
+            // Barrier: workers have finished (the executor joined). One
+            // clock read serves three purposes — the end of every chunk's
+            // barrier wait, the start of the check phase, and the
+            // timestamp of the driver's merge telemetry.
+            // cc-lint: allow(determinism) — phase timing for diagnostics; folded into check_ns/barrier_wait_ns, not into results
             let check_start = Instant::now();
+            let barrier_ts = (check_start - plane.epoch).as_nanos() as u64;
+            for k in 0..chunks {
+                let sealed_ts = plane.finish_ns[k].load(Ordering::Relaxed);
+                barrier_wait_ns += barrier_ts.saturating_sub(sealed_ts);
+                if R::ENABLED {
+                    self.recorder
+                        .span(k, Phase::BarrierWait, round, sealed_ts, barrier_ts);
+                }
+            }
+            // Merge the staged bank in fixed chunk order on the driving
+            // thread.
             let merge = merge_round(
                 round,
                 &plane.banks[(round & 1) as usize],
@@ -363,8 +464,16 @@ impl Engine {
                 &mut ledger,
                 &self.config.label,
                 bits_limit,
+                barrier_ts,
+                &*self.recorder,
             )?;
             check_ns += check_start.elapsed().as_nanos() as u64;
+            if R::ENABLED {
+                // cc-lint: allow(determinism) — phase timing for diagnostics; recorded as the check span only
+                let check_end_ts = (Instant::now() - plane.epoch).as_nanos() as u64;
+                self.recorder
+                    .span(DRIVER_LANE, Phase::Check, round, barrier_ts, check_end_ts);
+            }
             all_halted = merge.halted == n;
             if all_halted {
                 break;
@@ -379,6 +488,7 @@ impl Engine {
             route_ns: plane.route_ns.load(Ordering::Relaxed),
             step_ns: plane.step_ns.load(Ordering::Relaxed),
             check_ns,
+            barrier_wait_ns,
         };
         Ok(EngineOutcome {
             outputs: plane.into_outputs(),
@@ -387,6 +497,11 @@ impl Engine {
             rounds,
             all_halted,
             timings,
+            trace: if R::ENABLED {
+                self.recorder.summary()
+            } else {
+                None
+            },
         })
     }
 }
@@ -609,6 +724,53 @@ mod tests {
             .unwrap();
         assert_eq!(baseline.outputs, parallel.outputs);
         assert_eq!(baseline.ledger, parallel.ledger);
+    }
+
+    #[test]
+    fn recording_captures_every_phase_without_changing_results() {
+        use cc_trace::{RingRecorder, TraceEvent};
+        let n = 40;
+        let plain = Engine::new(EngineConfig::with_threads(2))
+            .run(ExecutionModel::congested_clique(n), ring_programs(n))
+            .unwrap();
+        assert!(plain.trace.is_none());
+        let rec = Arc::new(RingRecorder::default());
+        let traced = Engine::with_recorder(EngineConfig::with_threads(2), Arc::clone(&rec))
+            .run(ExecutionModel::congested_clique(n), ring_programs(n))
+            .unwrap();
+        // Recording is unobservable in everything the engine guarantees.
+        assert_eq!(plain.outputs, traced.outputs);
+        assert_eq!(plain.ledger, traced.ledger);
+        assert_eq!(plain.report, traced.report);
+        // Every round produced step/route/barrier spans on every chunk
+        // lane and a check span on the driver lane.
+        let events = rec.events();
+        let chunks = exec_chunk_count(n, 2) as u16;
+        for round in 0..u32::try_from(traced.rounds).unwrap() {
+            for phase in cc_trace::Phase::ALL {
+                let lanes = if phase == cc_trace::Phase::Check {
+                    u16::try_from(DRIVER_LANE).unwrap()..u16::try_from(DRIVER_LANE).unwrap() + 1
+                } else {
+                    0..chunks
+                };
+                for lane in lanes {
+                    assert!(
+                        events.iter().any(|e| matches!(
+                            *e,
+                            TraceEvent::Span { lane: l, phase: p, round: r, .. }
+                                if l == lane && p == phase && r == round
+                        )),
+                        "round {round} lane {lane} missing a {} span",
+                        phase.name()
+                    );
+                }
+            }
+        }
+        let summary = traced.trace.expect("recording run carries a summary");
+        assert_eq!(summary.rounds.len() as u64, traced.rounds);
+        assert_eq!(summary.totals().0, traced.ledger.total_messages());
+        assert!(summary.histogram(HistKind::InboxLen).unwrap().total() > 0);
+        assert_eq!(summary.dropped, 0);
     }
 
     #[test]

@@ -88,6 +88,17 @@
 //! assert!(outcome.report.within_limits());
 //! ```
 //!
+//! ## Observability
+//!
+//! The engine is generic over a [`cc_trace::Recorder`] (re-exported as
+//! [`trace`]): the default `NoopRecorder` compiles every probe out, while
+//! [`Engine::with_recorder`] + a `RingRecorder` capture per-round
+//! route/step/check/barrier spans per worker lane, message counters, and
+//! power-of-two histograms — lock-free, allocation-free in steady state,
+//! and provably unobservable in results, reports, and ledgers. Captures
+//! export as Chrome trace-event JSON (Perfetto) or a per-round summary
+//! table; see the `cc-trace` crate docs.
+//!
 //! ## Ported algorithms
 //!
 //! [`programs::trial`] (randomized list coloring) and [`programs::luby`]
@@ -110,6 +121,7 @@ pub mod program;
 pub mod programs;
 mod router;
 
+pub use cc_trace as trace;
 pub use columns::{Inbox, MessageColumns, SendSink};
 pub use engine::{Engine, EngineConfig, EngineOutcome, PhaseTimings};
 pub use env::NodeEnv;

@@ -9,6 +9,13 @@
 //! executor's job: chunk membership is fixed by the clique size, workers
 //! write only chunk-owned state, and the engine merges chunks in fixed
 //! order at the barrier.
+//!
+//! The trace plane (`cc-trace`) keys its lanes by **chunk index**, not by
+//! worker thread: which pool worker happens to drain chunk `k` is
+//! scheduler-dependent, but chunk `k`'s spans always land on lane `k`, so
+//! traces line up across runs and thread counts. The gap between a
+//! chunk's seal and the pool's `join` returning is what the engine
+//! attributes as that chunk's barrier wait.
 
 use std::sync::Arc;
 

@@ -35,6 +35,7 @@ use std::sync::{RwLock, RwLockReadGuard};
 
 use cc_sim::error::{Violation, ViolationKind};
 use cc_sim::{ClusterContext, SimError};
+use cc_trace::{Counter, HistKind, Recorder, DRIVER_LANE};
 
 use crate::columns::MessageColumns;
 use crate::ledger::{message_mix, MessageLedger, RoundStats, StreamDigest};
@@ -233,11 +234,24 @@ impl ChunkArena {
     /// the OR mask exceeds `bits_limit` is the batch rescanned to attribute
     /// the too-wide messages (the rare path).
     ///
+    /// When the recorder is enabled, a non-empty seal also emits its
+    /// routing telemetry on `lane` at `ts_ns` (nanoseconds since the
+    /// engine's epoch): messages routed, column words moved, and whether
+    /// the width-mask rescan fired — as counter events and as
+    /// per-chunk-round histogram observations.
+    ///
     /// `resize` on the high-water-capacity columns and the rare-path
     /// `push`es are amortized-free in steady state (the `alloc_free` test
     /// pins this); the allocating *constructors* stay banned in the region.
     // cc-lint: region(no_alloc)
-    pub(crate) fn seal(&mut self, round: u64, bits_limit: u32) {
+    pub(crate) fn seal<R: Recorder>(
+        &mut self,
+        round: u64,
+        bits_limit: u32,
+        lane: usize,
+        ts_ns: u64,
+        recorder: &R,
+    ) {
         if self.stage.is_empty() {
             // Communication-free round: `index` is still all zeros from
             // `reset`, so every sorted group reads back empty. No O(𝔫)
@@ -314,6 +328,19 @@ impl ChunkArena {
             word.iter().filter(|&&w| bits_of(w) > bits_limit).count(),
             "width-mask fast path and attribution rescan disagree"
         );
+        if R::ENABLED {
+            let messages = self.stage.len() as u64;
+            let moved = self.stage.words_moved();
+            let rescans = u64::from(bits_of(or_mask) > bits_limit);
+            recorder.count(lane, Counter::Messages, round, ts_ns, messages);
+            recorder.count(lane, Counter::Words, round, ts_ns, moved);
+            if rescans > 0 {
+                recorder.count(lane, Counter::Rescans, round, ts_ns, rescans);
+            }
+            recorder.observe(lane, HistKind::Messages, messages);
+            recorder.observe(lane, HistKind::Words, moved);
+            recorder.observe(lane, HistKind::Rescans, rescans);
+        }
     }
 
     /// The sorted range for destination `d` (valid after
@@ -378,17 +405,28 @@ pub(crate) fn read_bank(
 /// without communication are pure local computation, which the model does
 /// not charge.
 ///
+/// When the recorder is enabled, communicating rounds also emit the
+/// driver-lane telemetry at `ts_ns`: the round charge and the chunk load
+/// imbalance in permille (1000 = perfectly even; 2000 = the fullest chunk
+/// carried twice its fair share).
+///
 /// # Errors
 ///
 /// In strict mode, the first violated constraint aborts the execution with
 /// [`SimError::ConstraintViolated`].
-pub(crate) fn merge_round(
+// Crossing 7 arguments is the telemetry tax: the merge is the one place
+// that sees every chunk of a round at once, so the driver-lane counters
+// have to be emitted from here.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn merge_round<R: Recorder>(
     round: u64,
     bank: &[RwLock<ChunkArena>],
     ctx: &mut ClusterContext,
     ledger: &mut MessageLedger,
     label: &str,
     bits_limit: u32,
+    ts_ns: u64,
+    recorder: &R,
 ) -> Result<RoundMerge, SimError> {
     let guards = read_bank(bank);
     let chunks = || guards.iter().flatten();
@@ -448,6 +486,20 @@ pub(crate) fn merge_round(
         max_send_words: max_send,
         max_recv_words: max_recv,
     });
+    if R::ENABLED && messages > 0 {
+        recorder.count(DRIVER_LANE, Counter::Rounds, round, ts_ns, 1);
+        let fullest = chunks().map(|c| c.messages()).max().unwrap_or(0);
+        let parts = chunks().count() as u64;
+        let permille = fullest * parts * 1000 / messages;
+        recorder.count(
+            DRIVER_LANE,
+            Counter::ImbalancePermille,
+            round,
+            ts_ns,
+            permille,
+        );
+        recorder.observe(DRIVER_LANE, HistKind::ImbalancePermille, permille);
+    }
     Ok(RoundMerge { messages, halted })
 }
 
@@ -456,6 +508,7 @@ mod tests {
     use super::*;
     use crate::columns::SendSink;
     use cc_sim::ExecutionModel;
+    use cc_trace::NoopRecorder;
 
     /// Stages `outbox` for `sender` and records its accounting, mimicking
     /// the engine's step loop.
@@ -540,8 +593,18 @@ mod tests {
         let mut one = MessageLedger::new();
         let mut whole = ChunkArena::for_group(n, 1, 0);
         send(&mut whole, 0, n);
-        whole.seal(0, 16);
-        merge_round(0, &bank(whole), &mut ctx1, &mut one, "t", 16).unwrap();
+        whole.seal(0, 16, 0, 0, &NoopRecorder);
+        merge_round(
+            0,
+            &bank(whole),
+            &mut ctx1,
+            &mut one,
+            "t",
+            16,
+            0,
+            &NoopRecorder,
+        )
+        .unwrap();
 
         let mut ctx2 = ClusterContext::new(ExecutionModel::congested_clique(n));
         let mut many = MessageLedger::new();
@@ -551,11 +614,11 @@ mod tests {
                 let mut arena = ChunkArena::for_group(n, exec, k);
                 let nodes = group_node_range(n, exec, k);
                 send(&mut arena, nodes.start, nodes.end);
-                arena.seal(0, 16);
+                arena.seal(0, 16, 0, 0, &NoopRecorder);
                 RwLock::new(arena)
             })
             .collect();
-        merge_round(0, &split, &mut ctx2, &mut many, "t", 16).unwrap();
+        merge_round(0, &split, &mut ctx2, &mut many, "t", 16, 0, &NoopRecorder).unwrap();
         assert_eq!(one, many);
     }
 
@@ -564,7 +627,7 @@ mod tests {
         let mut arena = ChunkArena::new(4);
         stage_outbox(&mut arena, 0, &[(2, 10), (1, 11)], 100);
         stage_outbox(&mut arena, 1, &[(2, 12)], 100);
-        arena.seal(0, 16);
+        arena.seal(0, 16, 0, 0, &NoopRecorder);
         assert_eq!(arena.slices_for(2), (&[0u32, 1][..], &[10u64, 12][..]));
         assert_eq!(arena.slices_for(1), (&[0u32][..], &[11u64][..]));
         assert_eq!(arena.slices_for(0), (&[][..], &[][..]));
@@ -576,7 +639,7 @@ mod tests {
         let mut arena = ChunkArena::new(3);
         stage_outbox(&mut arena, 0, &[(1, u64::MAX)], 0);
         arena.note_halted();
-        arena.seal(0, 16);
+        arena.seal(0, 16, 0, 0, &NoopRecorder);
         assert_eq!(arena.wide_messages.len(), 1);
         assert_eq!(arena.send_overflows.len(), 1);
         let digest_before = arena.sub_digests[0].value();
@@ -586,7 +649,7 @@ mod tests {
         assert!(arena.wide_messages.is_empty());
         assert!(arena.send_overflows.is_empty());
         assert_ne!(arena.sub_digests[0].value(), digest_before);
-        arena.seal(1, 16);
+        arena.seal(1, 16, 0, 0, &NoopRecorder);
         assert_eq!(arena.slices_for(1), (&[][..], &[][..]));
     }
 
@@ -601,8 +664,18 @@ mod tests {
         let flood: Vec<(u32, u64)> = (0..=limit).map(|_| (1, 1)).collect();
         stage_outbox(&mut arena, 0, &flood, limit);
         stage_outbox(&mut arena, 2, &[(3, u64::MAX)], limit);
-        arena.seal(3, 32);
-        let merge = merge_round(3, &bank(arena), &mut ctx, &mut ledger, "test", 32).unwrap();
+        arena.seal(3, 32, 0, 0, &NoopRecorder);
+        let merge = merge_round(
+            3,
+            &bank(arena),
+            &mut ctx,
+            &mut ledger,
+            "test",
+            32,
+            0,
+            &NoopRecorder,
+        )
+        .unwrap();
         assert_eq!(merge.messages as usize, limit + 2);
         assert_eq!(ctx.rounds(), 1);
         // Wide word, send overflow, receive overflow — in that canonical
@@ -622,8 +695,18 @@ mod tests {
         let mut ctx = ClusterContext::strict(ExecutionModel::congested_clique(2));
         let mut ledger = MessageLedger::new();
         let mut arena = ChunkArena::new(2);
-        arena.seal(0, 16);
-        let merge = merge_round(0, &bank(arena), &mut ctx, &mut ledger, "test", 16).unwrap();
+        arena.seal(0, 16, 0, 0, &NoopRecorder);
+        let merge = merge_round(
+            0,
+            &bank(arena),
+            &mut ctx,
+            &mut ledger,
+            "test",
+            16,
+            0,
+            &NoopRecorder,
+        )
+        .unwrap();
         assert_eq!(merge.messages, 0);
         assert_eq!(ctx.rounds(), 0);
         assert_eq!(ledger.rounds().len(), 1);
@@ -635,8 +718,18 @@ mod tests {
         let mut ledger = MessageLedger::new();
         let mut arena = ChunkArena::new(2);
         stage_outbox(&mut arena, 0, &[(1, u64::MAX)], 100);
-        arena.seal(0, 16);
-        let err = merge_round(0, &bank(arena), &mut ctx, &mut ledger, "test", 16).unwrap_err();
+        arena.seal(0, 16, 0, 0, &NoopRecorder);
+        let err = merge_round(
+            0,
+            &bank(arena),
+            &mut ctx,
+            &mut ledger,
+            "test",
+            16,
+            0,
+            &NoopRecorder,
+        )
+        .unwrap_err();
         assert!(matches!(err, SimError::ConstraintViolated(_)));
     }
 
@@ -645,7 +738,7 @@ mod tests {
         let mut arena = ChunkArena::new(4);
         stage_outbox(&mut arena, 0, &[(1, 3), (2, u64::MAX), (3, 1)], 100);
         stage_outbox(&mut arena, 1, &[(0, 1 << 20)], 100);
-        arena.seal(0, 16);
+        arena.seal(0, 16, 0, 0, &NoopRecorder);
         assert_eq!(arena.wide_messages, vec![(0, 64), (1, 21)]);
     }
 

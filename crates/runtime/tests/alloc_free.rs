@@ -15,8 +15,10 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use cc_runtime::{Engine, EngineConfig, NodeEnv, NodeProgram, NodeStatus};
+use cc_runtime::trace::RingRecorder;
+use cc_runtime::{Engine, EngineConfig, EngineOutcome, NodeEnv, NodeProgram, NodeStatus};
 use cc_sim::ExecutionModel;
 
 struct CountingAllocator;
@@ -146,4 +148,96 @@ fn steady_state_rounds_allocate_nothing() {
         "doubling the round count changed the allocation totals: rounds are \
          not allocation-free (short = {short:?}, long = {long:?})"
     );
+}
+
+/// Allocation (count, bytes) charged to one engine run of `rounds` rounds
+/// with a `cc-trace` ring recorder attached. The recorder is built by the
+/// caller — its rings are a start-up cost like the arenas; the claim under
+/// test is that *recording into* them is allocation-free.
+fn measure_recorded(n: usize, rounds: u64, recorder: Arc<RingRecorder>) -> (u64, u64) {
+    let programs = programs(n, rounds);
+    let engine = Engine::with_recorder(
+        EngineConfig {
+            threads: 1,
+            max_rounds: 256,
+            ..EngineConfig::default()
+        },
+        recorder,
+    );
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed);
+    let bytes = ALLOCATED_BYTES.load(Ordering::Relaxed);
+    let outcome = engine
+        .run(ExecutionModel::congested_clique(n), programs)
+        .unwrap();
+    let delta = (
+        ALLOCATIONS.load(Ordering::Relaxed) - allocs,
+        ALLOCATED_BYTES.load(Ordering::Relaxed) - bytes,
+    );
+    assert!(outcome.all_halted);
+    assert_eq!(outcome.rounds, rounds + 1);
+    assert!(outcome.trace.is_some());
+    delta
+}
+
+#[test]
+fn steady_state_rounds_with_ring_recorder_allocate_nothing() {
+    let n = 96;
+    // Tiny rings that saturate within the first rounds: every extra round
+    // only overwrites ring slots, and the end-of-run summary decodes the
+    // same saturated window for both runs (the chatter workload emits the
+    // same events every round, so the retained tail is structurally
+    // identical at 40 and at 80 rounds). Any allocation difference is
+    // therefore chargeable to the recording hot path itself.
+    let _ = measure_recorded(n, 10, Arc::new(RingRecorder::with_capacity(16)));
+    let short = measure_recorded(n, 40, Arc::new(RingRecorder::with_capacity(16)));
+    let long = measure_recorded(n, 80, Arc::new(RingRecorder::with_capacity(16)));
+    assert!(short.0 > 0, "start-up must allocate something");
+    assert_eq!(
+        short, long,
+        "doubling the round count with a ring recorder attached changed the \
+         allocation totals: recording is not allocation-free \
+         (short = {short:?}, long = {long:?})"
+    );
+}
+
+/// One chatter run at the given thread count, optionally recorded.
+fn run_chatter(n: usize, rounds: u64, threads: usize, record: bool) -> EngineOutcome<u64> {
+    let config = EngineConfig {
+        threads,
+        max_rounds: 256,
+        ..EngineConfig::default()
+    };
+    let model = ExecutionModel::congested_clique(n);
+    if record {
+        Engine::with_recorder(config, Arc::new(RingRecorder::default()))
+            .run(model, programs(n, rounds))
+            .unwrap()
+    } else {
+        Engine::new(config).run(model, programs(n, rounds)).unwrap()
+    }
+}
+
+#[test]
+fn ring_recorder_leaves_outputs_and_ledger_digest_unchanged() {
+    let n = 64;
+    let rounds = 24;
+    for threads in [1, 4] {
+        let plain = run_chatter(n, rounds, threads, false);
+        let recorded = run_chatter(n, rounds, threads, true);
+        assert_eq!(
+            plain.outputs, recorded.outputs,
+            "recording changed node outputs at threads = {threads}"
+        );
+        assert_eq!(
+            plain.ledger.digest(),
+            recorded.ledger.digest(),
+            "recording changed the ledger digest at threads = {threads}"
+        );
+        assert_eq!(
+            plain.ledger, recorded.ledger,
+            "recording changed the ledger at threads = {threads}"
+        );
+        assert!(plain.trace.is_none());
+        assert!(recorded.trace.is_some());
+    }
 }

@@ -7,10 +7,31 @@
 //! is free, as in the model.
 
 use std::collections::BTreeMap;
+// Wall clock for trace timestamps only: recorded data is diagnostics, never
+// part of any report or result.
+use std::time::Instant;
+
+use cc_trace::{Counter, HistKind, Recorder, SharedRecorder, CONTEXT_LANE};
 
 use crate::error::{SimError, Violation, ViolationKind};
 use crate::model::ExecutionModel;
 use crate::report::ExecutionReport;
+
+/// An attached trace sink: the shared recorder plus the instant charges
+/// are timestamped against (fixed at attach time, so a centralized run and
+/// an engine capture can share one time axis only if they share one
+/// recorder attached at the same origin).
+#[derive(Debug, Clone)]
+struct TraceProbe {
+    recorder: SharedRecorder,
+    epoch: Instant,
+}
+
+impl TraceProbe {
+    fn ts_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
 
 /// Round/space/communication accounting context for one simulated execution.
 #[derive(Debug, Clone)]
@@ -23,6 +44,9 @@ pub struct ClusterContext {
     peak_local_words: usize,
     peak_total_words: usize,
     violations: Vec<Violation>,
+    /// Optional trace sink; every charge path mirrors its quantity onto
+    /// the context lane when attached. `None` costs one branch per charge.
+    probe: Option<TraceProbe>,
 }
 
 impl ClusterContext {
@@ -39,6 +63,7 @@ impl ClusterContext {
             peak_local_words: 0,
             peak_total_words: 0,
             violations: Vec::new(),
+            probe: None,
         }
     }
 
@@ -87,9 +112,34 @@ impl ClusterContext {
         &self.violations
     }
 
+    /// Attaches a trace recorder: from now on every round, communication,
+    /// and bandwidth charge is mirrored onto the trace plane's context
+    /// lane, timestamped from this call. Charges themselves are unchanged —
+    /// recording is observable only through the recorder.
+    pub fn attach_recorder(&mut self, recorder: SharedRecorder) {
+        self.probe = Some(TraceProbe {
+            recorder,
+            epoch: Instant::now(),
+        });
+    }
+
+    /// The attached trace recorder, if any.
+    pub fn recorder(&self) -> Option<&SharedRecorder> {
+        self.probe.as_ref().map(|p| &p.recorder)
+    }
+
     /// Charges `rounds` communication rounds under the given phase label.
     pub fn charge_rounds(&mut self, label: &str, rounds: u64) {
         self.rounds += rounds;
+        if let Some(probe) = &self.probe {
+            probe.recorder.count(
+                CONTEXT_LANE,
+                Counter::Rounds,
+                self.rounds,
+                probe.ts_ns(),
+                rounds,
+            );
+        }
         // Look up before inserting: `entry` would clone the label into a
         // fresh String on every call, which the engine's zero-allocation-
         // per-round guarantee cannot afford on its once-per-round charge.
@@ -103,6 +153,15 @@ impl ClusterContext {
     /// Charges `words` of total communication volume (no rounds).
     pub fn charge_communication(&mut self, words: u64) {
         self.total_comm_words += words;
+        if let Some(probe) = &self.probe {
+            probe.recorder.count(
+                CONTEXT_LANE,
+                Counter::Words,
+                self.rounds,
+                probe.ts_ns(),
+                words,
+            );
+        }
     }
 
     /// Records that some single machine holds `words` words, checking the
@@ -156,6 +215,18 @@ impl ClusterContext {
     /// is exceeded.
     pub fn observe_bandwidth(&mut self, label: &str, words: usize) -> Result<(), SimError> {
         self.total_comm_words += words as u64;
+        if let Some(probe) = &self.probe {
+            probe.recorder.count(
+                CONTEXT_LANE,
+                Counter::Words,
+                self.rounds,
+                probe.ts_ns(),
+                words as u64,
+            );
+            probe
+                .recorder
+                .observe(CONTEXT_LANE, HistKind::Words, words as u64);
+        }
         if words > self.model.per_round_bandwidth_words {
             return self.record(Violation {
                 label: label.to_string(),
@@ -190,6 +261,9 @@ impl ClusterContext {
         ClusterContext {
             model: self.model.clone(),
             strict: self.strict,
+            // Children share the parent's recorder (and epoch), so a
+            // forked phase keeps tracing onto the same time axis.
+            probe: self.probe.clone(),
             ..ClusterContext::new(self.model.clone())
         }
     }
@@ -338,6 +412,50 @@ mod tests {
         let child = parent.fork();
         assert!(child.is_strict());
         assert_eq!(child.rounds(), 0);
+    }
+
+    #[test]
+    fn attached_recorder_mirrors_charges_without_changing_them() {
+        use cc_trace::{RingRecorder, TraceEvent};
+        let shared = RingRecorder::with_capacity(64).shared();
+        let mut plain = ClusterContext::new(small_model());
+        let mut traced = ClusterContext::new(small_model());
+        traced.attach_recorder(shared.clone());
+        assert!(traced.recorder().is_some());
+        for ctx in [&mut plain, &mut traced] {
+            ctx.charge_rounds("phase", 2);
+            ctx.charge_communication(40);
+            ctx.observe_bandwidth("b", 7).unwrap();
+        }
+        // The accounting read-out is identical with and without a recorder.
+        assert_eq!(plain.report(), traced.report());
+        // ... and the recorder saw each charge path, on the context lane.
+        let events = shared.events();
+        assert_eq!(events.len(), 3);
+        assert!(events
+            .iter()
+            .all(|e| usize::from(e.lane()) == cc_trace::CONTEXT_LANE));
+        assert!(matches!(
+            events[0],
+            TraceEvent::Count {
+                counter: Counter::Rounds,
+                value: 2,
+                ..
+            }
+        ));
+        assert!(matches!(
+            events[1],
+            TraceEvent::Count {
+                counter: Counter::Words,
+                value: 40,
+                ..
+            }
+        ));
+        assert_eq!(shared.histogram(HistKind::Words).total(), 1);
+        // Forked children keep recording into the same rings.
+        let mut child = traced.fork();
+        child.charge_rounds("child", 1);
+        assert_eq!(shared.events().len(), 4);
     }
 
     #[test]

@@ -1,0 +1,344 @@
+//! Chrome trace-event JSON export, loadable in Perfetto
+//! (<https://ui.perfetto.dev>) and `chrome://tracing`.
+//!
+//! The format is the ["Trace Event Format"]: a JSON object with a
+//! `traceEvents` array. We emit three phase kinds — `"M"` metadata rows
+//! naming processes and threads, `"X"` complete events for spans (with
+//! microsecond `ts`/`dur`), and `"C"` counter events that Perfetto renders
+//! as per-track area charts. Each [`add_process`] call becomes one
+//! process group (`pid`), with one `tid` per ring lane, so a
+//! multi-backend capture (engine + centralized context) lands as
+//! side-by-side process tracks in the UI.
+//!
+//! The JSON is hand-rolled: events are flat records of numbers and
+//! ASCII-safe names, and keeping the writer dependency-free matters more
+//! than generality here.
+//!
+//! ["Trace Event Format"]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//! [`add_process`]: ChromeTrace::add_process
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::event::TraceEvent;
+use crate::ring::{CONTEXT_LANE, DRIVER_LANE};
+
+/// The display name of a ring lane, used as the Perfetto thread name.
+#[must_use]
+pub fn lane_name(lane: u16) -> String {
+    match usize::from(lane) {
+        DRIVER_LANE => String::from("driver"),
+        CONTEXT_LANE => String::from("context"),
+        k => format!("chunk-{k}"),
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_us(out: &mut String, ns: u64) {
+    // Microseconds with nanosecond precision, without going through
+    // floats (exact for the full u64 range).
+    let _ = write!(out, "{}.{:03}", ns / 1_000, ns % 1_000);
+}
+
+/// An in-progress trace file. Add one process per captured backend, then
+/// [`finish`](ChromeTrace::finish) or [`write_to`](ChromeTrace::write_to).
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    body: String,
+    events: usize,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        ChromeTrace::default()
+    }
+
+    /// Events emitted so far (metadata rows included).
+    #[must_use]
+    pub fn events(&self) -> usize {
+        self.events
+    }
+
+    fn push_record(&mut self, record: &str) {
+        if !self.body.is_empty() {
+            self.body.push_str(",\n");
+        }
+        self.body.push_str(record);
+        self.events += 1;
+    }
+
+    /// Adds one process group: a `process_name` metadata row, a
+    /// `thread_name` row per lane that appears in `events`, then every
+    /// span as an `"X"` complete event and every counter as a `"C"`
+    /// counter sample.
+    pub fn add_process(&mut self, pid: u32, name: &str, events: &[TraceEvent]) {
+        let mut record = String::new();
+        record.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":\""
+        ));
+        escape_into(&mut record, name);
+        record.push_str("\"}}");
+        self.push_record(&record);
+
+        let mut lanes: Vec<u16> = events.iter().map(TraceEvent::lane).collect();
+        lanes.sort_unstable();
+        lanes.dedup();
+        for lane in lanes {
+            let mut record = String::new();
+            record.push_str(&format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{lane},\"name\":\"thread_name\",\"args\":{{\"name\":\""
+            ));
+            escape_into(&mut record, &lane_name(lane));
+            record.push_str("\"}}");
+            self.push_record(&record);
+        }
+
+        for event in events {
+            let mut record = String::new();
+            match *event {
+                TraceEvent::Span {
+                    lane,
+                    phase,
+                    round,
+                    start_ns,
+                    end_ns,
+                } => {
+                    record.push_str(&format!(
+                        "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{lane},\"name\":\"{}\",\"cat\":\"round\",\"ts\":",
+                        phase.name()
+                    ));
+                    push_us(&mut record, start_ns);
+                    record.push_str(",\"dur\":");
+                    push_us(&mut record, end_ns.saturating_sub(start_ns));
+                    record.push_str(&format!(",\"args\":{{\"round\":{round}}}}}"));
+                }
+                TraceEvent::Count {
+                    lane,
+                    counter,
+                    round,
+                    ts_ns,
+                    value,
+                } => {
+                    record.push_str(&format!(
+                        "{{\"ph\":\"C\",\"pid\":{pid},\"tid\":{lane},\"name\":\"{}\",\"ts\":",
+                        counter.name()
+                    ));
+                    push_us(&mut record, ts_ns);
+                    record.push_str(&format!(
+                        ",\"args\":{{\"value\":{value},\"round\":{round}}}}}"
+                    ));
+                }
+            }
+            self.push_record(&record);
+        }
+    }
+
+    /// The complete JSON document.
+    #[must_use]
+    pub fn finish(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        out.push_str(&self.body);
+        out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+        out
+    }
+
+    /// Writes the JSON document to `path`.
+    ///
+    /// # Errors
+    /// Propagates the underlying filesystem error.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Counter, Phase};
+
+    /// A minimal JSON validator: accepts exactly the grammar we emit
+    /// (objects, arrays, strings with escapes, numbers, literals).
+    fn json_ok(s: &str) -> bool {
+        fn skip_ws(b: &[u8], mut i: usize) -> usize {
+            while i < b.len() && (b[i] as char).is_ascii_whitespace() {
+                i += 1;
+            }
+            i
+        }
+        fn value(b: &[u8], i: usize) -> Option<usize> {
+            let i = skip_ws(b, i);
+            match *b.get(i)? {
+                b'{' => {
+                    let mut i = skip_ws(b, i + 1);
+                    if b.get(i) == Some(&b'}') {
+                        return Some(i + 1);
+                    }
+                    loop {
+                        i = string(b, skip_ws(b, i))?;
+                        i = skip_ws(b, i);
+                        if b.get(i) != Some(&b':') {
+                            return None;
+                        }
+                        i = value(b, i + 1)?;
+                        i = skip_ws(b, i);
+                        match b.get(i)? {
+                            b',' => i += 1,
+                            b'}' => return Some(i + 1),
+                            _ => return None,
+                        }
+                    }
+                }
+                b'[' => {
+                    let mut i = skip_ws(b, i + 1);
+                    if b.get(i) == Some(&b']') {
+                        return Some(i + 1);
+                    }
+                    loop {
+                        i = value(b, i)?;
+                        i = skip_ws(b, i);
+                        match b.get(i)? {
+                            b',' => i += 1,
+                            b']' => return Some(i + 1),
+                            _ => return None,
+                        }
+                    }
+                }
+                b'"' => string(b, i),
+                b't' => strip(b, i, "true"),
+                b'f' => strip(b, i, "false"),
+                b'n' => strip(b, i, "null"),
+                _ => number(b, i),
+            }
+        }
+        fn strip(b: &[u8], i: usize, lit: &str) -> Option<usize> {
+            b[i..].starts_with(lit.as_bytes()).then_some(i + lit.len())
+        }
+        fn string(b: &[u8], mut i: usize) -> Option<usize> {
+            if b.get(i) != Some(&b'"') {
+                return None;
+            }
+            i += 1;
+            while let Some(&c) = b.get(i) {
+                match c {
+                    b'"' => return Some(i + 1),
+                    b'\\' => i += 2,
+                    _ => i += 1,
+                }
+            }
+            None
+        }
+        fn number(b: &[u8], mut i: usize) -> Option<usize> {
+            let start = i;
+            if b.get(i) == Some(&b'-') {
+                i += 1;
+            }
+            while i < b.len() && ((b[i] as char).is_ascii_digit() || b[i] == b'.') {
+                i += 1;
+            }
+            (i > start).then_some(i)
+        }
+        match value(s.as_bytes(), 0) {
+            Some(end) => skip_ws(s.as_bytes(), end) == s.len(),
+            None => false,
+        }
+    }
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Span {
+                lane: 0,
+                phase: Phase::Step,
+                round: 0,
+                start_ns: 1_500,
+                end_ns: 42_750,
+            },
+            TraceEvent::Span {
+                lane: 1,
+                phase: Phase::BarrierWait,
+                round: 0,
+                start_ns: 42_750,
+                end_ns: 50_001,
+            },
+            TraceEvent::Count {
+                lane: DRIVER_LANE as u16,
+                counter: Counter::Messages,
+                round: 0,
+                ts_ns: 50_001,
+                value: 96,
+            },
+        ]
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(json_ok("{\"a\":[1,2,{\"b\":\"c\\\"d\"}]}"));
+        assert!(!json_ok("{\"a\":"));
+        assert!(!json_ok("{\"a\":1,}"));
+        assert!(!json_ok("[1 2]"));
+    }
+
+    #[test]
+    fn export_is_valid_json_with_metadata_spans_and_counters() {
+        let mut trace = ChromeTrace::new();
+        trace.add_process(0, "engine t=4", &sample_events());
+        trace.add_process(1, "context", &[]);
+        let json = trace.finish();
+        assert!(json_ok(&json), "invalid JSON:\n{json}");
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"name\":\"engine t=4\""));
+        assert!(json.contains("\"name\":\"chunk-0\""));
+        assert!(json.contains("\"name\":\"driver\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        // 1.5us start, 41.25us duration — exact microsecond fractions.
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":41.250"));
+        assert!(json.contains("\"value\":96"));
+        // Metadata (2 + lanes 0,1,16) + 3 events + empty process's 1 row.
+        assert_eq!(trace.events(), 1 + 3 + 3 + 1);
+    }
+
+    #[test]
+    fn names_escape_quotes_and_backslashes() {
+        let mut trace = ChromeTrace::new();
+        trace.add_process(0, "a\"b\\c\n", &[]);
+        let json = trace.finish();
+        assert!(json_ok(&json), "invalid JSON:\n{json}");
+        assert!(json.contains("a\\\"b\\\\c\\u000a"));
+    }
+
+    #[test]
+    fn lane_names_cover_workers_driver_and_context() {
+        assert_eq!(lane_name(0), "chunk-0");
+        assert_eq!(lane_name(15), "chunk-15");
+        assert_eq!(lane_name(DRIVER_LANE as u16), "driver");
+        assert_eq!(lane_name(CONTEXT_LANE as u16), "context");
+    }
+
+    #[test]
+    fn write_to_round_trips_through_a_file() {
+        let mut trace = ChromeTrace::new();
+        trace.add_process(0, "engine", &sample_events());
+        let dir = std::env::temp_dir().join("cc_trace_chrome_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.trace.json");
+        trace.write_to(&path).unwrap();
+        let read_back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read_back, trace.finish());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,311 @@
+//! The fixed-size event vocabulary of the tracing plane.
+//!
+//! Every recorded fact is one of two shapes — a **span** (a phase of one
+//! round, on one lane, with start/end timestamps) or a **counter** (a named
+//! per-round quantity on one lane). Both pack into exactly
+//! [`EVENT_WORDS`] `u64` words so the ring buffers can be flat atomic
+//! arrays with no per-event allocation, and both decode back into
+//! [`TraceEvent`] for the exporters. Timestamps are nanoseconds relative to
+//! an epoch the *caller* chose (the engine's run start, a context's attach
+//! time): cc-trace itself never reads a clock, which is what keeps the
+//! crate admissible in determinism-audited code.
+
+/// `u64` words one packed event occupies in a ring.
+pub const EVENT_WORDS: usize = 3;
+
+/// Execution phases a span can describe, shared by the engine and the
+/// centralized simulator so traces from both backends read alike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// The router's counting sort: count/digest/width pass, prefix sum,
+    /// placement scatter.
+    Route,
+    /// Program stepping: inbox assembly, `on_round` calls, sends.
+    Step,
+    /// The driver's barrier merge: ledger folds, violation recording,
+    /// round charging.
+    Check,
+    /// Time a lane's sealed chunk sat finished while the round barrier
+    /// waited for the stragglers (the load-imbalance signal).
+    BarrierWait,
+}
+
+impl Phase {
+    /// All phases, in display order.
+    pub const ALL: [Phase; 4] = [Phase::Route, Phase::Step, Phase::Check, Phase::BarrierWait];
+
+    /// Stable display name (also the Perfetto slice name).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Route => "route",
+            Phase::Step => "step",
+            Phase::Check => "check",
+            Phase::BarrierWait => "barrier-wait",
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Phase> {
+        Phase::ALL.get(code as usize).copied()
+    }
+}
+
+/// Counter kinds: per-round quantities the engine and the simulator charge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Counter {
+    /// Messages routed (delivered words) this round on this lane.
+    Messages,
+    /// Column words moved by the placement scatter (`src` + payload).
+    Words,
+    /// Width-mask rescans taken (the rare too-wide attribution path).
+    Rescans,
+    /// Model rounds charged (1 per communicating round).
+    Rounds,
+    /// Load imbalance across chunks, in permille of a perfectly even
+    /// split (1000 = even, 2000 = the fullest chunk carried 2x its share).
+    ImbalancePermille,
+}
+
+impl Counter {
+    /// All counters, in display order.
+    pub const ALL: [Counter; 5] = [
+        Counter::Messages,
+        Counter::Words,
+        Counter::Rescans,
+        Counter::Rounds,
+        Counter::ImbalancePermille,
+    ];
+
+    /// Stable display name (also the Perfetto counter-track name).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Messages => "messages",
+            Counter::Words => "words-moved",
+            Counter::Rescans => "width-rescans",
+            Counter::Rounds => "rounds-charged",
+            Counter::ImbalancePermille => "chunk-imbalance-permille",
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Counter> {
+        Counter::ALL.get(code as usize).copied()
+    }
+}
+
+/// Histogram kinds: distributions accumulated in place (power-of-two
+/// buckets) rather than streamed as events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HistKind {
+    /// Messages routed per chunk per round.
+    Messages,
+    /// Column words moved per chunk per round.
+    Words,
+    /// Width-mask rescans per chunk per round.
+    Rescans,
+    /// Inbox size per node per round.
+    InboxLen,
+    /// Per-round chunk load imbalance, in permille.
+    ImbalancePermille,
+}
+
+impl HistKind {
+    /// All histogram kinds, in display order.
+    pub const ALL: [HistKind; 5] = [
+        HistKind::Messages,
+        HistKind::Words,
+        HistKind::Rescans,
+        HistKind::InboxLen,
+        HistKind::ImbalancePermille,
+    ];
+
+    /// Stable display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            HistKind::Messages => "messages/chunk-round",
+            HistKind::Words => "words-moved/chunk-round",
+            HistKind::Rescans => "rescans/chunk-round",
+            HistKind::InboxLen => "inbox-size/node-round",
+            HistKind::ImbalancePermille => "chunk-imbalance-permille/round",
+        }
+    }
+}
+
+/// One decoded trace event, as the exporters consume it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A timed phase of one round on one lane.
+    Span {
+        /// Ring lane the event was recorded on (see [`crate::ring`]).
+        lane: u16,
+        /// Which phase the span timed.
+        phase: Phase,
+        /// Engine round the span belongs to.
+        round: u32,
+        /// Start, in nanoseconds since the caller's epoch.
+        start_ns: u64,
+        /// End, in nanoseconds since the caller's epoch.
+        end_ns: u64,
+    },
+    /// A per-round quantity on one lane.
+    Count {
+        /// Ring lane the event was recorded on.
+        lane: u16,
+        /// Which quantity was counted.
+        counter: Counter,
+        /// Engine round the value belongs to.
+        round: u32,
+        /// Timestamp, in nanoseconds since the caller's epoch.
+        ts_ns: u64,
+        /// The counted value.
+        value: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The round the event belongs to.
+    #[must_use]
+    pub fn round(&self) -> u32 {
+        match *self {
+            TraceEvent::Span { round, .. } | TraceEvent::Count { round, .. } => round,
+        }
+    }
+
+    /// The lane the event was recorded on.
+    #[must_use]
+    pub fn lane(&self) -> u16 {
+        match *self {
+            TraceEvent::Span { lane, .. } | TraceEvent::Count { lane, .. } => lane,
+        }
+    }
+}
+
+const KIND_SPAN: u8 = 0;
+const KIND_COUNT: u8 = 1;
+
+/// Packs the event header word: kind, id, lane, round.
+#[must_use]
+pub(crate) fn pack_header(kind: u8, id: u8, lane: u16, round: u32) -> u64 {
+    u64::from(kind) | (u64::from(id) << 8) | (u64::from(lane) << 16) | (u64::from(round) << 32)
+}
+
+/// Packs a span into its three ring words.
+#[must_use]
+pub(crate) fn pack_span(
+    lane: u16,
+    phase: Phase,
+    round: u32,
+    start_ns: u64,
+    end_ns: u64,
+) -> [u64; EVENT_WORDS] {
+    [
+        pack_header(KIND_SPAN, phase as u8, lane, round),
+        start_ns,
+        end_ns,
+    ]
+}
+
+/// Packs a counter into its three ring words.
+#[must_use]
+pub(crate) fn pack_count(
+    lane: u16,
+    counter: Counter,
+    round: u32,
+    ts_ns: u64,
+    value: u64,
+) -> [u64; EVENT_WORDS] {
+    [
+        pack_header(KIND_COUNT, counter as u8, lane, round),
+        ts_ns,
+        value,
+    ]
+}
+
+/// Decodes three ring words back into an event. `None` for an
+/// uninitialized slot or a corrupt header (never produced by the packers).
+#[must_use]
+pub(crate) fn unpack(words: [u64; EVENT_WORDS]) -> Option<TraceEvent> {
+    let [header, a, b] = words;
+    let kind = (header & 0xff) as u8;
+    let id = ((header >> 8) & 0xff) as u8;
+    let lane = ((header >> 16) & 0xffff) as u16;
+    let round = (header >> 32) as u32;
+    match kind {
+        KIND_SPAN => Some(TraceEvent::Span {
+            lane,
+            phase: Phase::from_code(id)?,
+            round,
+            start_ns: a,
+            end_ns: b,
+        }),
+        KIND_COUNT => Some(TraceEvent::Count {
+            lane,
+            counter: Counter::from_code(id)?,
+            round,
+            ts_ns: a,
+            value: b,
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_round_trip() {
+        for phase in Phase::ALL {
+            let packed = pack_span(13, phase, 900_000, 17, 23);
+            assert_eq!(
+                unpack(packed),
+                Some(TraceEvent::Span {
+                    lane: 13,
+                    phase,
+                    round: 900_000,
+                    start_ns: 17,
+                    end_ns: 23
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn counters_round_trip() {
+        for counter in Counter::ALL {
+            let packed = pack_count(16, counter, 7, u64::MAX >> 32, 42);
+            assert_eq!(
+                unpack(packed),
+                Some(TraceEvent::Count {
+                    lane: 16,
+                    counter,
+                    round: 7,
+                    ts_ns: u64::MAX >> 32,
+                    value: 42
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_headers_decode_to_none() {
+        assert_eq!(unpack([0xff, 0, 0]), None);
+        // Span kind with an out-of-range phase code.
+        assert_eq!(unpack([u64::from(99u8) << 8, 0, 0]), None);
+    }
+
+    #[test]
+    fn names_are_stable_and_distinct() {
+        let phase_names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        let counter_names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        let hist_names: Vec<&str> = HistKind::ALL.iter().map(|h| h.name()).collect();
+        for names in [&phase_names, &counter_names, &hist_names] {
+            let mut sorted = names.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), names.len(), "duplicate names in {names:?}");
+        }
+        assert_eq!(Phase::BarrierWait.name(), "barrier-wait");
+    }
+}

@@ -1,0 +1,77 @@
+//! The [`Recorder`] trait and the zero-cost [`NoopRecorder`] default.
+//!
+//! Instrumented code (the engine, the router, the simulator's charge
+//! paths) is generic over a `Recorder`, so the disabled configuration is
+//! not "a recorder that checks a flag" but a type whose methods are empty
+//! and whose [`Recorder::ENABLED`] constant lets callers compile out even
+//! the argument computation (timestamp reads, inbox-length sums) behind
+//! `if R::ENABLED` — recording off means literally no extra instructions
+//! on the hot path.
+
+use std::fmt;
+
+use crate::event::{Counter, HistKind, Phase};
+use crate::summary::TraceSummary;
+
+/// A sink for trace events. All methods take `&self` and must be safe to
+/// call concurrently from worker threads, without locking or allocating:
+/// they sit inside the engine's `no_alloc` steady-state regions.
+///
+/// `lane` identifies the writer: one lane per execution chunk plus
+/// dedicated driver and context lanes (see [`crate::ring`]). Callers keep
+/// single-writer discipline per lane within a phase; implementations only
+/// need atomics, not locks.
+pub trait Recorder: fmt::Debug + Send + Sync + 'static {
+    /// Whether this recorder records anything at all. Instrumentation
+    /// guards argument computation with `if R::ENABLED` so a disabled
+    /// recorder costs nothing.
+    const ENABLED: bool;
+
+    /// Records a timed phase of one round on one lane. Timestamps are
+    /// nanoseconds since an epoch the caller fixed for the whole run.
+    fn span(&self, lane: usize, phase: Phase, round: u64, start_ns: u64, end_ns: u64);
+
+    /// Records a per-round counted quantity on one lane.
+    fn count(&self, lane: usize, counter: Counter, round: u64, ts_ns: u64, value: u64);
+
+    /// Folds one observation into a power-of-two histogram.
+    fn observe(&self, lane: usize, hist: HistKind, value: u64);
+
+    /// A per-round aggregation of everything recorded so far, if the
+    /// recorder keeps one. The engine stores this into its outcome.
+    fn summary(&self) -> Option<TraceSummary> {
+        None
+    }
+}
+
+/// The default recorder: records nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn span(&self, _lane: usize, _phase: Phase, _round: u64, _start_ns: u64, _end_ns: u64) {}
+
+    #[inline(always)]
+    fn count(&self, _lane: usize, _counter: Counter, _round: u64, _ts_ns: u64, _value: u64) {}
+
+    #[inline(always)]
+    fn observe(&self, _lane: usize, _hist: HistKind, _value: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled_and_summaryless() {
+        const { assert!(!NoopRecorder::ENABLED) }
+        let noop = NoopRecorder;
+        noop.span(0, Phase::Route, 0, 0, 1);
+        noop.count(0, Counter::Messages, 0, 0, 9);
+        noop.observe(0, HistKind::InboxLen, 3);
+        assert!(noop.summary().is_none());
+    }
+}
