@@ -3,6 +3,13 @@
 //! measured time is dominated by the router (staging, counting sort,
 //! digest, delivery) rather than algorithm work. Reported per (n, threads);
 //! divide by `rounds * n * FANOUT` for ns/message.
+//!
+//! Besides the uniform `blast` workload, two skewed-destination shapes
+//! stress counting-sort degeneracies: `hot` aims every message at node 0
+//! (one giant destination group — the all-to-one worst case for the
+//! placement scatter and the receive tally), and `plaw` draws destinations
+//! from a power-law-ish map so a few receivers absorb most of the traffic
+//! while the tail stays sparse.
 
 use cc_runtime::{Engine, EngineConfig, NodeEnv, NodeProgram, NodeStatus};
 use cc_sim::ExecutionModel;
@@ -37,11 +44,55 @@ impl NodeProgram for Blast {
     }
 }
 
-fn programs(n: usize) -> Vec<Box<dyn NodeProgram<Output = u64>>> {
+/// Destination shapes for the blast workload.
+#[derive(Clone, Copy)]
+enum Skew {
+    /// Evenly scattered destinations (the original workload).
+    Uniform,
+    /// Every message addressed to node 0: one maximal destination group.
+    HotReceiver,
+    /// Power-law-ish destinations: peer `d` of node `i` maps to a low id
+    /// with probability decaying in `d`, so a handful of receivers carry
+    /// most of the load.
+    PowerLaw,
+}
+
+impl Skew {
+    fn name(self) -> &'static str {
+        match self {
+            Skew::Uniform => "blast",
+            Skew::HotReceiver => "hot",
+            Skew::PowerLaw => "plaw",
+        }
+    }
+
+    fn peers(self, i: usize, n: usize) -> Vec<u32> {
+        (1..=FANOUT)
+            .map(|d| match self {
+                Skew::Uniform => ((i + d * 31) % n) as u32,
+                Skew::HotReceiver => 0,
+                // Deterministic heavy head: half the fanout hits the top
+                // 4 ids, the rest spreads with a quadratic stride so high
+                // ids are increasingly rare.
+                Skew::PowerLaw => {
+                    if d % 2 == 0 {
+                        ((i + d) % 4) as u32
+                    } else {
+                        ((i * d * d + d) % n) as u32
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+fn programs(n: usize, skew: Skew) -> Vec<Box<dyn NodeProgram<Output = u64>>> {
     (0..n)
         .map(|i| {
-            let peers: Vec<u32> = (1..=FANOUT).map(|d| ((i + d * 31) % n) as u32).collect();
-            Box::new(Blast { peers, checksum: 0 }) as _
+            Box::new(Blast {
+                peers: skew.peers(i, n),
+                checksum: 0,
+            }) as _
         })
         .collect()
 }
@@ -49,20 +100,22 @@ fn programs(n: usize) -> Vec<Box<dyn NodeProgram<Output = u64>>> {
 fn bench_router(c: &mut Criterion) {
     let mut group = c.benchmark_group("message_plane");
     group.sample_size(10);
-    for n in [256usize, 512] {
-        let model = ExecutionModel::congested_clique(n);
-        for threads in [1usize, 4] {
-            group.bench_function(format!("blast_n{n}_t{threads}"), |b| {
-                let engine = Engine::new(EngineConfig::with_threads(threads));
-                b.iter(|| {
-                    let outcome = engine.run(model.clone(), programs(n)).unwrap();
-                    assert_eq!(
-                        outcome.ledger.total_messages(),
-                        ROUNDS * (n * FANOUT) as u64
-                    );
-                    outcome.ledger.digest()
-                })
-            });
+    for skew in [Skew::Uniform, Skew::HotReceiver, Skew::PowerLaw] {
+        for n in [256usize, 512] {
+            let model = ExecutionModel::congested_clique(n);
+            for threads in [1usize, 4] {
+                group.bench_function(format!("{}_n{n}_t{threads}", skew.name()), |b| {
+                    let engine = Engine::new(EngineConfig::with_threads(threads));
+                    b.iter(|| {
+                        let outcome = engine.run(model.clone(), programs(n, skew)).unwrap();
+                        assert_eq!(
+                            outcome.ledger.total_messages(),
+                            ROUNDS * (n * FANOUT) as u64
+                        );
+                        outcome.ledger.digest()
+                    })
+                });
+            }
         }
     }
     group.finish();

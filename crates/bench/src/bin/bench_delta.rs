@@ -1,12 +1,18 @@
 //! Prints the message-plane perf trajectory across a sequence of bench
 //! records — the committed per-PR history plus a fresh `BENCH_CURRENT.json`
 //! — so the perf story is machine-readable in CI logs: one delta line per
-//! consecutive pair, then the cumulative first-to-last line. Informational
-//! only: always exits 0 — wall-clock on shared runners is too noisy to
-//! gate on.
+//! consecutive pair, then the cumulative first-to-last line.
 //!
-//! Usage: `bench_delta BENCH_BASELINE_PR2.json BENCH_PR3.json BENCH_CURRENT.json`
-//! (any number of records ≥ 2, oldest first).
+//! By default informational only (always exits 0 — wall-clock on shared
+//! runners is noisy). With `--fail-above <pct>`, the newest record's
+//! ns/msg is gated against the second-newest (the committed baseline): a
+//! regression beyond `pct` percent exits 1, turning the trajectory into a
+//! hard CI gate. Missing or unreadable records never trip the gate — only
+//! a measured regression does.
+//!
+//! Usage: `bench_delta [--fail-above <pct>] BENCH_BASELINE_PR2.json
+//! BENCH_PR3.json BENCH_CURRENT.json` (any number of records ≥ 2, oldest
+//! first).
 
 use std::process::ExitCode;
 
@@ -32,9 +38,28 @@ fn delta_line(a_name: &str, a_ns: f64, b_name: &str, b_ns: f64) -> String {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // --fail-above <pct>: regression gate against the second-newest record.
+    let mut fail_above: Option<f64> = None;
+    if let Some(flag) = args.iter().position(|a| a == "--fail-above") {
+        if flag + 1 >= args.len() {
+            eprintln!("bench_delta: --fail-above needs a percentage argument");
+            return ExitCode::FAILURE;
+        }
+        match args[flag + 1].parse::<f64>() {
+            Ok(pct) if pct >= 0.0 => fail_above = Some(pct),
+            _ => {
+                eprintln!(
+                    "bench_delta: --fail-above wants a non-negative percentage, got {:?}",
+                    args[flag + 1]
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        args.drain(flag..=flag + 1);
+    }
     if args.len() < 2 {
-        eprintln!("usage: bench_delta OLDEST.json [MID.json ...] NEWEST.json");
+        eprintln!("usage: bench_delta [--fail-above <pct>] OLDEST.json [MID.json ...] NEWEST.json");
         return ExitCode::SUCCESS;
     }
     // A record that is missing or malformed drops out of the trajectory
@@ -102,6 +127,31 @@ fn main() -> ExitCode {
             route / 1e3,
             step / 1e3,
             check / 1e3
+        );
+    }
+    if let (Some(hot), Some(plaw)) = (
+        field(last_json, "hot_ns_per_msg"),
+        field(last_json, "plaw_ns_per_msg"),
+    ) {
+        println!("  {last_name} skewed workloads: hot-receiver {hot:.1} ns/msg, power-law {plaw:.1} ns/msg");
+    }
+    if let Some(pct) = fail_above {
+        // Gate the newest record against the second-newest: the committed
+        // per-PR baseline the fresh CI measurement is expected to hold.
+        let (base_name, base_json) = &records[records.len() - 2];
+        let (base, current) = (ns(base_json), ns(last_json));
+        let change = (current - base) / base.max(f64::MIN_POSITIVE) * 100.0;
+        if change > pct {
+            eprintln!(
+                "bench_delta: FAIL — {last_name} is {change:.1}% slower than \
+                 {base_name} ({base:.1} -> {current:.1} ns/msg), above the \
+                 {pct:.0}% gate"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "  gate: {last_name} vs {base_name} = {change:+.1}% ns/msg \
+             (limit +{pct:.0}%) — ok"
         );
     }
     ExitCode::SUCCESS

@@ -27,6 +27,7 @@ use std::time::Instant;
 use cc_mis::engine::EngineLubyMis;
 use cc_mis::luby::LubyMis;
 use cc_runtime::trace::{ChromeTrace, RingRecorder};
+use cc_runtime::{Engine, EngineConfig, NodeEnv, NodeProgram, NodeStatus};
 use cc_sim::{ClusterContext, ExecutionModel};
 use clique_coloring::baselines::engine_trial::EngineTrialColoring;
 use clique_coloring::baselines::trial::RandomizedTrialColoring;
@@ -454,8 +455,9 @@ pub const BENCH_N: usize = 512;
 
 /// One tracked measurement of the engine message plane, serialized as a
 /// flat JSON record so CI can diff the perf trajectory across PRs (the
-/// committed history is `BENCH_BASELINE_PR2.json` and `BENCH_PR3.json`;
-/// each CI run writes a fresh `BENCH_CURRENT.json` next to them).
+/// committed history is `BENCH_BASELINE_PR2.json`, `BENCH_PR3.json`, and
+/// `BENCH_PR8.json`; each CI run writes a fresh `BENCH_CURRENT.json` next
+/// to them).
 #[derive(Debug, Clone)]
 pub struct PlaneBenchRecord {
     /// Nodes in the benched instance.
@@ -476,17 +478,27 @@ pub struct PlaneBenchRecord {
     /// Summed per-chunk barrier wait of the best run, in nanoseconds
     /// (absent from records written before the trace plane existed).
     pub barrier_wait_ns: u64,
+    /// ns/msg of the all-to-one hot-receiver blast (one maximal
+    /// destination group; absent from records written before PR 8).
+    pub hot_ns_per_msg: f64,
+    /// ns/msg of the power-law-destination blast (a few receivers carry
+    /// most of the load; absent from records written before PR 8).
+    pub plaw_ns_per_msg: f64,
 }
 
 impl PlaneBenchRecord {
-    /// Serializes the record as a single flat JSON object.
+    /// Serializes the record as a single flat JSON object. `ns_per_msg`
+    /// stays the first `*ns_per_msg` key: `bench_delta` matches keys with
+    /// their opening quote, but keeping the headline number up front keeps
+    /// the record readable in diffs.
     pub fn to_json(&self) -> String {
         format!(
             "{{\n  \"bench\": \"engine-trial-coloring\",\n  \"n\": {},\n  \
              \"host_cpus\": {},\n  \"engine_rounds\": {},\n  \
              \"total_messages\": {},\n  \"wall_ms\": {:.3},\n  \
              \"ns_per_msg\": {:.2},\n  \"route_ns\": {},\n  \"step_ns\": {},\n  \
-             \"check_ns\": {},\n  \"barrier_wait_ns\": {}\n}}\n",
+             \"check_ns\": {},\n  \"barrier_wait_ns\": {},\n  \
+             \"hot_ns_per_msg\": {:.2},\n  \"plaw_ns_per_msg\": {:.2}\n}}\n",
             self.n,
             self.host_cpus,
             self.engine_rounds,
@@ -497,8 +509,66 @@ impl PlaneBenchRecord {
             self.phase_ns.1,
             self.phase_ns.2,
             self.barrier_wait_ns,
+            self.hot_ns_per_msg,
+            self.plaw_ns_per_msg,
         )
     }
+}
+
+/// Fanout and rounds of the skewed blast workloads (matching
+/// `benches/router.rs`).
+const SKEW_FANOUT: usize = 16;
+const SKEW_ROUNDS: u64 = 8;
+
+/// Sends one word to a fixed peer set each round; trivial local work, so
+/// the measurement is all router.
+struct SkewBlast {
+    peers: Vec<u32>,
+    checksum: u64,
+}
+
+impl NodeProgram for SkewBlast {
+    type Output = u64;
+
+    fn on_round(&mut self, env: &mut NodeEnv<'_>) -> NodeStatus {
+        for m in env.inbox() {
+            self.checksum = self.checksum.wrapping_add(m.word ^ u64::from(m.src));
+        }
+        if env.round() >= SKEW_ROUNDS {
+            return NodeStatus::Halt;
+        }
+        env.send_slice(&self.peers, env.round() & 0x3ff);
+        NodeStatus::Continue
+    }
+
+    fn finish(self: Box<Self>) -> u64 {
+        self.checksum
+    }
+}
+
+/// Best-of-3 ns/msg for a blast workload with per-node peer lists from
+/// `peers_of`, single worker thread.
+fn skew_ns_per_msg(n: usize, peers_of: &dyn Fn(usize) -> Vec<u32>) -> f64 {
+    let model = ExecutionModel::congested_clique(n);
+    let engine = Engine::new(EngineConfig::with_threads(1));
+    let expected = SKEW_ROUNDS * (n * SKEW_FANOUT) as u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let programs: Vec<Box<dyn NodeProgram<Output = u64>>> = (0..n)
+            .map(|i| {
+                Box::new(SkewBlast {
+                    peers: peers_of(i),
+                    checksum: 0,
+                }) as _
+            })
+            .collect();
+        let start = Instant::now();
+        let outcome = engine.run(model.clone(), programs).expect("skew bench run");
+        let ns = start.elapsed().as_secs_f64() * 1e9;
+        assert_eq!(outcome.ledger.total_messages(), expected);
+        best = best.min(ns / expected as f64);
+    }
+    best
 }
 
 /// Benchmarks the message plane on trial coloring at [`BENCH_N`] nodes
@@ -522,6 +592,21 @@ pub fn bench_message_plane() -> PlaneBenchRecord {
         }
     }
     let (wall_ms, out) = best.expect("three runs measured");
+    // Skewed-destination companions: the all-to-one hot receiver and a
+    // power-law destination map (same shapes as `benches/router.rs`), so
+    // counting-sort degeneracies show up in the tracked record.
+    let hot_ns_per_msg = skew_ns_per_msg(n, &|_| vec![0; SKEW_FANOUT]);
+    let plaw_ns_per_msg = skew_ns_per_msg(n, &|i| {
+        (1..=SKEW_FANOUT)
+            .map(|d| {
+                if d % 2 == 0 {
+                    ((i + d) % 4) as u32
+                } else {
+                    ((i * d * d + d) % n) as u32
+                }
+            })
+            .collect()
+    });
     PlaneBenchRecord {
         n,
         host_cpus: std::thread::available_parallelism().map_or(1, |p| p.get()),
@@ -535,6 +620,8 @@ pub fn bench_message_plane() -> PlaneBenchRecord {
             out.timings.check_ns,
         ),
         barrier_wait_ns: out.timings.barrier_wait_ns,
+        hot_ns_per_msg,
+        plaw_ns_per_msg,
     }
 }
 
@@ -543,10 +630,13 @@ pub fn write_bench_record(path: &Path) {
     let record = bench_message_plane();
     match std::fs::write(path, record.to_json()) {
         Ok(()) => println!(
-            "wrote message-plane bench record to {} ({:.1} ns/msg over {} messages)",
+            "wrote message-plane bench record to {} ({:.1} ns/msg over {} messages; \
+             hot {:.1}, plaw {:.1})",
             path.display(),
             record.ns_per_msg,
-            record.total_messages
+            record.total_messages,
+            record.hot_ns_per_msg,
+            record.plaw_ns_per_msg
         ),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }

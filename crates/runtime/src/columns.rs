@@ -120,9 +120,11 @@ impl MessageColumns {
 
     /// 64-bit words of column data one routing pass moves for this batch:
     /// per message, the placement scatter rewrites the `u32` sender and
-    /// the `u64` payload (1.5 words) and the count pass reads the `u32`
-    /// key (0.5 words) — 2 words per message. The traffic metric behind
-    /// the trace plane's "words-moved" counter.
+    /// the `u64` payload (1.5 words) and reads the `u32` destination key
+    /// (0.5 words) — 2 words per message. (The former counting pass is
+    /// gone: per-destination counts are maintained at send time by the
+    /// [`SendSink`].) The traffic metric behind the trace plane's
+    /// "words-moved" counter.
     #[inline]
     #[must_use]
     pub fn words_moved(&self) -> u64 {
@@ -131,28 +133,118 @@ impl MessageColumns {
     // cc-lint: end_region
 }
 
-/// A write-only appender into a [`MessageColumns`] arena, pinned to one
-/// sending node.
+/// A chunk's staging area for one round: the raw message columns plus a
+/// per-destination **count shard** maintained incrementally at send time.
+///
+/// Counting at the sink is what kills the router's count pass: the staging
+/// write already touches the destination id, so by the time the last
+/// program of the chunk returns, the per-destination loads are complete
+/// and [`crate::router`]'s seal starts straight at the prefix sum. The
+/// shard belongs to one arena (it is never shared across chunks), so
+/// worker count stays unobservable in results and ledgers — the barrier
+/// merge combines the shards in fixed chunk order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Staging {
+    columns: MessageColumns,
+    /// `counts[d]` = messages staged for destination `d` this round.
+    counts: Vec<u32>,
+}
+
+impl Staging {
+    /// An empty staging area for an `n`-node clique. The count shard is
+    /// allocated here, once — clearing between rounds keeps it.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Staging {
+            columns: MessageColumns::new(),
+            counts: vec![0; n],
+        }
+    }
+
+    // Everything below runs every round; the constructor above is the only
+    // allocation.
+    // cc-lint: region(no_alloc)
+
+    /// Number of messages staged.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether no messages are staged.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// The staged columns.
+    #[inline]
+    #[must_use]
+    pub fn columns(&self) -> &MessageColumns {
+        &self.columns
+    }
+
+    /// The per-destination count shard: `counts()[d]` staged messages are
+    /// addressed to `d`. Complete at all times — the sink updates it on
+    /// every push.
+    #[inline]
+    #[must_use]
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Clears the staged batch, keeping every allocation. Zeroing the
+    /// count shard is skipped entirely after rounds that staged nothing
+    /// (the shard is already all zeros), so communication-free rounds pay
+    /// no O(𝔫) reset.
+    #[inline]
+    pub fn clear(&mut self) {
+        if !self.columns.is_empty() {
+            self.counts.fill(0);
+        }
+        self.columns.clear();
+    }
+    // cc-lint: end_region
+}
+
+/// A write-only appender into a [`Staging`] arena, pinned to one sending
+/// node.
 ///
 /// This is the outbox a [`crate::program::NodeProgram`] sees (through
 /// [`crate::env::NodeEnv::send`]): sends go straight into the owning
 /// chunk's staging columns, so there is no per-node outbox to allocate,
-/// copy out of, or clear.
+/// copy out of, or clear. Every push also bumps the staging area's
+/// per-destination count shard — the send already validated and wrote the
+/// destination, so the increment rides on a line the sink is touching
+/// anyway, and the router's seal never has to re-scan the batch to count.
 #[derive(Debug)]
 pub struct SendSink<'a> {
     src: u32,
     n: u32,
     columns: &'a mut MessageColumns,
+    counts: &'a mut [u32],
 }
 
 impl<'a> SendSink<'a> {
-    /// An appender writing messages from `src` into `columns`, in an
+    /// An appender writing messages from `src` into `staging`, in an
     /// `n`-node clique.
-    pub fn new(src: u32, n: usize, columns: &'a mut MessageColumns) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics if `staging`'s count shard was not built for `n` nodes.
+    pub fn new(src: u32, n: usize, staging: &'a mut Staging) -> Self {
+        assert_eq!(
+            staging.counts.len(),
+            n,
+            "staging count shard was built for a different clique size"
+        );
         SendSink {
             src,
             n: u32::try_from(n).expect("clique size exceeds u32"),
-            columns,
+            columns: &mut staging.columns,
+            counts: &mut staging.counts,
         }
     }
 
@@ -174,6 +266,7 @@ impl<'a> SendSink<'a> {
             self.src,
             self.n
         );
+        self.counts[dst as usize] += 1;
         self.columns.push(self.src, dst, word);
     }
 
@@ -191,6 +284,9 @@ impl<'a> SendSink<'a> {
             self.src,
             self.n
         );
+        for &dst in dsts {
+            self.counts[dst as usize] += 1;
+        }
         self.columns.push_to_all(self.src, dsts, word);
     }
 
@@ -368,22 +464,35 @@ mod tests {
     }
 
     #[test]
-    fn sink_stamps_the_sender() {
-        let mut cols = MessageColumns::new();
-        let mut sink = SendSink::new(3, 8, &mut cols);
+    fn sink_stamps_the_sender_and_counts_destinations() {
+        let mut staging = Staging::new(8);
+        let mut sink = SendSink::new(3, 8, &mut staging);
         sink.push(1, 10);
         sink.push(7, 11);
-        assert_eq!(sink.staged(), 2);
-        assert_eq!(cols.src(), &[3, 3]);
-        assert_eq!(cols.dst(), &[1, 7]);
-        assert_eq!(cols.word(), &[10, 11]);
+        sink.push(7, 12);
+        assert_eq!(sink.staged(), 3);
+        assert_eq!(staging.columns().src(), &[3, 3, 3]);
+        assert_eq!(staging.columns().dst(), &[1, 7, 7]);
+        assert_eq!(staging.columns().word(), &[10, 11, 12]);
+        assert_eq!(staging.counts(), &[0, 1, 0, 0, 0, 0, 0, 2]);
+    }
+
+    #[test]
+    fn bulk_sends_count_every_destination() {
+        let mut staging = Staging::new(4);
+        let mut sink = SendSink::new(0, 4, &mut staging);
+        sink.push_all(&[1, 3, 1], 5);
+        assert_eq!(staging.counts(), &[0, 2, 0, 1]);
+        staging.clear();
+        assert!(staging.is_empty());
+        assert_eq!(staging.counts(), &[0, 0, 0, 0]);
     }
 
     #[test]
     #[should_panic(expected = "non-existent node")]
     fn sink_rejects_out_of_range_destinations() {
-        let mut cols = MessageColumns::new();
-        let mut sink = SendSink::new(0, 2, &mut cols);
+        let mut staging = Staging::new(2);
+        let mut sink = SendSink::new(0, 2, &mut staging);
         sink.push(2, 1);
     }
 

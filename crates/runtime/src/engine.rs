@@ -8,14 +8,15 @@
 //!    clique size (see [`crate::router`]). For each chunk, a worker builds
 //!    every node's inbox as a zero-copy view over the previous round's
 //!    sorted chunk arenas, steps the program (sends append straight into
-//!    the chunk's staging columns), and seals the chunk: a fused
-//!    count/digest/width pass, a prefix sum, and a placement pass
-//!    counting-sort the batch by destination. All per-message work happens
-//!    here, on the workers.
+//!    the chunk's staging columns, counting per destination as they land),
+//!    and seals the chunk: a prefix sum over the send-time counts, a
+//!    per-sender-run digest fold, a lane-vectorized width OR, and a
+//!    placement pass counting-sort the batch by destination. All
+//!    per-message work happens here, on the workers.
 //! 2. **Merge (driver).** At the barrier the driving thread folds the
-//!    chunks in fixed chunk order: ledger digest, load statistics,
-//!    violations, round charging — O(chunks · 𝔫) work independent of the
-//!    message volume.
+//!    chunks in fixed chunk order: ledger digest, count-shard combine into
+//!    the receive tally, violations, round charging — O(chunks · 𝔫) work
+//!    independent of the message volume.
 //!
 //! Because chunk membership and merge order depend only on the clique
 //! size, results, reports, and ledgers are byte-identical for any worker
@@ -40,7 +41,8 @@ use crate::message::word_bits_limit;
 use crate::pool::ChunkedExecutor;
 use crate::program::{NodeProgram, NodeStatus};
 use crate::router::{
-    exec_chunk_count, group_node_range, merge_round, read_bank, ChunkArena, MAX_CHUNKS,
+    exec_chunk_count, group_node_range, merge_round, read_bank, ChunkArena, MergeScratch,
+    MAX_CHUNKS,
 };
 
 /// How an [`Engine`] executes.
@@ -426,6 +428,9 @@ impl<R: Recorder> Engine<R> {
             Arc::clone(&self.recorder),
         ));
         let chunks = plane.chunks;
+        // Driver-side merge scratch, allocated once: the barrier combines
+        // the per-chunk count shards into it every communicating round.
+        let mut scratch = MergeScratch::new(n);
         // One closure for the whole run; the round counter parameterizes it.
         let step = {
             let plane = Arc::clone(&plane);
@@ -460,6 +465,7 @@ impl<R: Recorder> Engine<R> {
             let merge = merge_round(
                 round,
                 &plane.banks[(round & 1) as usize],
+                &mut scratch,
                 &mut ctx,
                 &mut ledger,
                 &self.config.label,

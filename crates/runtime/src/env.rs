@@ -1,7 +1,7 @@
 //! The per-node, per-round view a [`crate::program::NodeProgram`] runs
 //! against.
 
-use crate::columns::{Inbox, MessageColumns, SendSink};
+use crate::columns::{Inbox, SendSink, Staging};
 
 /// What one node sees during one round: its identity, the messages delivered
 /// to it this round, and a send sink for the messages it sends.
@@ -27,13 +27,7 @@ impl<'a> NodeEnv<'a> {
     ///
     /// The engine builds these internally; the constructor is public so
     /// programs can be unit-tested without an engine.
-    pub fn new(
-        node: u32,
-        n: usize,
-        round: u64,
-        inbox: Inbox<'a>,
-        outbox: &'a mut MessageColumns,
-    ) -> Self {
+    pub fn new(node: u32, n: usize, round: u64, inbox: Inbox<'a>, outbox: &'a mut Staging) -> Self {
         NodeEnv {
             node,
             n,
@@ -119,14 +113,14 @@ impl<'a> NodeEnv<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::columns::InboxSegment;
+    use crate::columns::{InboxSegment, Staging};
 
     #[test]
     fn send_and_broadcast_fill_the_outbox() {
         let segment: InboxSegment<'_> = (&[2], &[9]);
         let segments = [segment];
         let inbox = Inbox::new(1, &segments);
-        let mut outbox = MessageColumns::new();
+        let mut outbox = Staging::new(4);
         let mut env = NodeEnv::new(1, 4, 3, inbox, &mut outbox);
         assert_eq!(env.node(), 1);
         assert_eq!(env.n(), 4);
@@ -138,14 +132,17 @@ mod tests {
         env.broadcast(5);
         // broadcast skips the sender itself.
         assert_eq!(outbox.len(), 1 + 2 + 3);
-        assert!(outbox.iter().all(|m| m.src == 1));
-        assert!(outbox.iter().all(|m| m.dst != 1));
+        assert!(outbox.columns().iter().all(|m| m.src == 1));
+        assert!(outbox.columns().iter().all(|m| m.dst != 1));
+        // The count shard tracked every send: one to node 0 (plus a
+        // broadcast copy), one each to 2 and 3 (plus broadcast copies).
+        assert_eq!(outbox.counts(), &[2, 0, 2, 2]);
     }
 
     #[test]
     fn inbox_view_outlives_the_env_borrow() {
         let inbox = Inbox::empty(0);
-        let mut outbox = MessageColumns::new();
+        let mut outbox = Staging::new(2);
         let mut env = NodeEnv::new(0, 2, 0, inbox, &mut outbox);
         let view = env.inbox();
         // Holding the view while sending compiles because the view is Copy

@@ -25,15 +25,17 @@
 //! Each sender chunk owns an arena of flat `src`/`dst`/`word` column
 //! buffers ([`columns::MessageColumns`]) allocated once at engine start
 //! and reused every round: programs send through a
-//! [`columns::SendSink`] appending straight into the staging columns,
-//! the router counting-sorts the batch by destination (count, prefix sum,
-//! placement — see [`crate::router`]), and next round's inboxes are
+//! [`columns::SendSink`] appending straight into a [`columns::Staging`]
+//! area that counts per destination as messages land, the router
+//! counting-sorts the batch by destination off those send-time counts
+//! (prefix sum, per-sender-run digest fold, placement — the count pass
+//! never runs; see [`crate::router`]), and next round's inboxes are
 //! zero-copy [`columns::Inbox`] views over the sorted columns. Width
-//! checking is a branch-light OR-fold over the word column. Steady-state
-//! rounds perform **zero heap allocations** on the single-threaded path
-//! (asserted by an allocation-counting test allocator in
-//! `tests/alloc_free.rs`); multi-threaded runs add only the worker pool's
-//! O(chunks) job boxes per round, never O(messages).
+//! checking is an 8-wide u64-lane OR-fold over the word column.
+//! Steady-state rounds perform **zero heap allocations** on the
+//! single-threaded path (asserted by an allocation-counting test allocator
+//! in `tests/alloc_free.rs`); multi-threaded runs add only the worker
+//! pool's O(chunks) job boxes per round, never O(messages).
 //!
 //! ## Determinism
 //!
@@ -122,7 +124,7 @@ pub mod programs;
 mod router;
 
 pub use cc_trace as trace;
-pub use columns::{Inbox, MessageColumns, SendSink};
+pub use columns::{Inbox, MessageColumns, SendSink, Staging};
 pub use engine::{Engine, EngineConfig, EngineOutcome, PhaseTimings};
 pub use env::NodeEnv;
 pub use ledger::{MessageLedger, RoundStats};

@@ -42,6 +42,7 @@ impl ChunkedExecutor {
     }
 
     /// The number of worker threads (1 means inline execution).
+    #[inline]
     pub fn threads(&self) -> usize {
         self.threads
     }
@@ -49,10 +50,15 @@ impl ChunkedExecutor {
     /// Calls `f(k)` for every `k in 0..chunks`, in parallel, returning when
     /// all calls have finished.
     ///
+    /// Inlining matters on the single-threaded path: the engine calls this
+    /// once per round, and with no pool the whole dispatch should collapse
+    /// into the plain `for` loop.
+    ///
     /// # Panics
     ///
     /// Panics if `f` panicked on any worker (the panic is surfaced on the
     /// calling thread after the barrier).
+    #[inline]
     pub fn run_indexed<F>(&self, chunks: usize, f: &Arc<F>)
     where
         F: Fn(usize) + Send + Sync + 'static,

@@ -64,9 +64,9 @@ mod tests {
 
     #[test]
     fn programs_are_usable_as_trait_objects() {
-        use crate::columns::{Inbox, MessageColumns};
+        use crate::columns::{Inbox, Staging};
         let mut program: Box<dyn NodeProgram<Output = bool>> = Box::new(Echo { sent: false });
-        let mut outbox = MessageColumns::new();
+        let mut outbox = Staging::new(3);
         let mut env = NodeEnv::new(0, 3, 0, Inbox::empty(0), &mut outbox);
         assert_eq!(program.on_round(&mut env), NodeStatus::Continue);
         let mut env = NodeEnv::new(0, 3, 1, Inbox::empty(0), &mut outbox);

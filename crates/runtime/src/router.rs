@@ -12,24 +12,30 @@
 //! uses one group — every inbox is then one contiguous slice — while
 //! parallel runs use about two groups per worker; the grouping is
 //! unobservable in results, reports, and ledgers. During the parallel step phase, programs
-//! append sends directly into the chunk's *staging* columns (generation
-//! order: ascending sender, then send order); [`ChunkArena::seal`] then
-//! routes the batch with a two-pass counting sort keyed on `dst ∈ [0, 𝔫)` —
-//! one fused pass counts per-destination loads, folds the stream digest,
-//! and OR-accumulates a width mask; a prefix sum turns counts into offsets;
-//! a placement pass scatters the `src`/`word` columns into
+//! append sends directly into the chunk's *staging* area (generation
+//! order: ascending sender, then send order) — a [`crate::columns::Staging`]
+//! that pairs the columns with a per-destination count shard maintained at
+//! send time, so the counting sort's first O(batch) scan never runs.
+//! [`ChunkArena::seal`] then routes the batch keyed on `dst ∈ [0, 𝔫)`: a
+//! prefix sum over the pre-counted shard turns counts into offsets; the
+//! stream digest folds per *sender run* (the digest-chunk cursor advances
+//! at run boundaries found by binary search on the ascending `src` column,
+//! not per message); the width mask ORs over the word column in 8-wide
+//! u64 lanes; and a placement pass scatters the `src`/`word` columns into
 //! destination-grouped order (the `dst` column becomes implicit). The width
 //! check is branch-light: only if the OR-accumulated mask of the whole
 //! chunk exceeds the O(log 𝔫)-bit limit is the batch rescanned for the
 //! offending messages.
 //!
 //! At the barrier the driving thread merges the chunks **in fixed chunk
-//! order** ([`merge_round`]): it folds chunk digests into the ledger, sums
-//! per-destination loads, records violations in canonical order, and
-//! charges the context. Next round, a receiver's inbox is the zero-copy
-//! concatenation of its slices from every chunk arena in chunk order —
-//! i.e. ordered by sender id — so inbox contents, the ledger, and every
-//! violation are identical for any worker-thread count.
+//! order** ([`merge_round`]): it folds chunk digests into the ledger,
+//! combines the per-chunk count shards into a [`MergeScratch`] receive
+//! tally with one fixed-order pass (no rescan of the merged columns),
+//! records violations in canonical order, and charges the context. Next
+//! round, a receiver's inbox is the zero-copy concatenation of its slices
+//! from every chunk arena in chunk order — i.e. ordered by sender id — so
+//! inbox contents, the ledger, and every violation are identical for any
+//! worker-thread count.
 
 use std::sync::{RwLock, RwLockReadGuard};
 
@@ -37,7 +43,7 @@ use cc_sim::error::{Violation, ViolationKind};
 use cc_sim::{ClusterContext, SimError};
 use cc_trace::{Counter, HistKind, Recorder, DRIVER_LANE};
 
-use crate::columns::MessageColumns;
+use crate::columns::Staging;
 use crate::ledger::{message_mix, MessageLedger, RoundStats, StreamDigest};
 use crate::message::bits_of;
 
@@ -107,23 +113,24 @@ pub(crate) fn group_node_range(n: usize, exec_chunks: usize, k: usize) -> std::o
 pub(crate) struct ChunkArena {
     /// The clique size the arena routes for.
     n: usize,
-    /// Staged messages in generation order (ascending sender, send order).
-    stage: MessageColumns,
+    /// Staged messages in generation order (ascending sender, send order),
+    /// plus the per-destination count shard maintained at send time.
+    stage: Staging,
     /// Destination-grouped sender column (valid after [`ChunkArena::seal`]).
     sorted_src: Vec<u32>,
     /// Destination-grouped payload column (parallel to `sorted_src`).
     sorted_word: Vec<u64>,
     /// Group-end offsets: after [`ChunkArena::seal`], destination `d`'s
     /// sorted range is `index[d - 1]..index[d]` (with 0 for `d = 0`).
-    /// During the fused count pass, `index[d + 1]` temporarily holds the
-    /// count for `d`; the prefix sum turns `index[d]` into group starts,
-    /// and the placement pass advances each start to its group end — the
-    /// classic in-place counting-sort cursor trick, so no separate cursor
-    /// array exists. Allocated lazily (sized `n + 1`) by the first
-    /// non-empty seal, so arenas of quiet chunks cost nothing to build.
+    /// The prefix sum over the staging count shard writes `index[d]` as
+    /// group starts, and the placement pass advances each start to its
+    /// group end — the classic in-place counting-sort cursor trick, so no
+    /// separate cursor array exists. Sized `n + 1` at construction; every
+    /// non-empty seal overwrites it wholesale, so `reset` never re-zeroes
+    /// it.
     index: Vec<u32>,
-    /// Whether `seal` wrote `index` this round (so `reset` can skip
-    /// re-zeroing after communication-free rounds).
+    /// Whether `seal` wrote `index` this round (so [`ChunkArena::range_for`]
+    /// can ignore a stale `index` after communication-free rounds).
     routed: bool,
     /// Node-range ends (exclusive) of the digest chunks this group covers,
     /// ascending: a staged message from `src` belongs to the first digest
@@ -160,10 +167,10 @@ impl ChunkArena {
             .collect();
         ChunkArena {
             n,
-            stage: MessageColumns::new(),
+            stage: Staging::new(n),
             sorted_src: Vec::new(),
             sorted_word: Vec::new(),
-            index: Vec::new(),
+            index: vec![0; n + 1],
             routed: false,
             sub_digests: vec![StreamDigest::new(); boundaries.len()],
             boundaries,
@@ -182,11 +189,11 @@ impl ChunkArena {
     /// Clears the arena for a new round, keeping every allocation.
     // cc-lint: region(no_alloc)
     pub(crate) fn reset(&mut self) {
+        // `index` is deliberately not cleared: a non-empty seal overwrites
+        // it wholesale via the prefix sum, and `routed` guards reads after
+        // rounds that never sealed.
         self.stage.clear();
-        if self.routed {
-            self.index.fill(0);
-            self.routed = false;
-        }
+        self.routed = false;
         self.sub_digests.fill(StreamDigest::new());
         self.max_send = 0;
         self.halted = 0;
@@ -195,10 +202,18 @@ impl ChunkArena {
     }
     // cc-lint: end_region
 
-    /// The staging columns programs append into (via
+    /// The staging area programs append into (via
     /// [`crate::columns::SendSink`]).
-    pub(crate) fn stage_mut(&mut self) -> &mut MessageColumns {
+    pub(crate) fn stage_mut(&mut self) -> &mut Staging {
         &mut self.stage
+    }
+
+    /// The per-destination count shard accumulated at send time:
+    /// `counts()[d]` messages of this chunk's batch address node `d`.
+    /// Valid whether or not the arena has been sealed — the shard is
+    /// maintained by the sinks, not by the sort.
+    pub(crate) fn counts(&self) -> &[u32] {
+        self.stage.counts()
     }
 
     /// Messages staged so far this round.
@@ -227,18 +242,23 @@ impl ChunkArena {
         }
     }
 
-    /// Routes the staged batch: one fused pass over the columns counts
-    /// per-destination loads, folds the stream digest, and OR-accumulates
-    /// the width mask; a prefix sum turns counts into offsets; a placement
-    /// pass scatters `src`/`word` into destination-grouped order. Only if
-    /// the OR mask exceeds `bits_limit` is the batch rescanned to attribute
-    /// the too-wide messages (the rare path).
+    /// Routes the staged batch. The counting sort's count pass is already
+    /// paid: the staging count shard was filled at send time, so sealing
+    /// starts straight at the prefix sum (counts → offsets). The stream
+    /// digest folds per *sender run* — the ascending `src` column is cut at
+    /// digest-chunk boundaries by binary search, so the chunk cursor
+    /// advances once per run instead of once per message. The width mask
+    /// ORs over the word column in 8-wide u64 lanes ([`lane_or_fold`]), and
+    /// a placement pass scatters `src`/`word` into destination-grouped
+    /// order. Only if the OR mask exceeds `bits_limit` is the batch
+    /// rescanned to attribute the too-wide messages (the rare path).
     ///
     /// When the recorder is enabled, a non-empty seal also emits its
     /// routing telemetry on `lane` at `ts_ns` (nanoseconds since the
-    /// engine's epoch): messages routed, column words moved, and whether
-    /// the width-mask rescan fired — as counter events and as
-    /// per-chunk-round histogram observations.
+    /// engine's epoch): messages routed, column words moved, count passes
+    /// skipped (always 1 — the shard made it free), and whether the
+    /// width-mask rescan fired — as counter events and as per-chunk-round
+    /// histogram observations.
     ///
     /// `resize` on the high-water-capacity columns and the rare-path
     /// `push`es are amortized-free in steady state (the `alloc_free` test
@@ -253,23 +273,26 @@ impl ChunkArena {
         recorder: &R,
     ) {
         if self.stage.is_empty() {
-            // Communication-free round: `index` is still all zeros from
-            // `reset`, so every sorted group reads back empty. No O(𝔫)
-            // work is spent on a chunk that sent nothing.
+            // Communication-free round: `routed` stays false, so every
+            // sorted group reads back empty. No O(𝔫) work is spent on a
+            // chunk that sent nothing.
             return;
         }
         self.routed = true;
         let n = self.n;
-        self.index.resize(n + 1, 0);
-        let (src, dst, word) = (self.stage.src(), self.stage.dst(), self.stage.word());
-        // Count pass: touches only the destination column. Destinations
-        // were validated at send time, so `d < n` here.
-        for &d in dst {
-            self.index[d as usize + 1] += 1;
-        }
-        // Prefix sum: counts → group starts (`index[d]` = start of `d`).
-        for d in 0..n {
-            self.index[d + 1] += self.index[d];
+        let counts = self.stage.counts();
+        let (src, dst, word) = {
+            let columns = self.stage.columns();
+            (columns.src(), columns.dst(), columns.word())
+        };
+        // Prefix sum over the send-time count shard: counts → group starts
+        // (`index[d]` = start of `d`). This is the only O(𝔫) pass left —
+        // the O(batch) count scan happened for free inside the sinks.
+        self.index[0] = 0;
+        let mut running = 0u32;
+        for (slot, &count) in self.index[1..].iter_mut().zip(counts) {
+            running += count;
+            *slot = running;
         }
         // Invariant: the per-destination counts sum to the batch size —
         // every staged message is placed exactly once.
@@ -278,21 +301,40 @@ impl ChunkArena {
             dst.len(),
             "prefix-sum total disagrees with the staged message count"
         );
-        // Placement pass, fused with the digest and the width mask (it
-        // walks the batch in generation order, which is exactly the digest
-        // order, and senders ascend, so the digest-chunk cursor only moves
-        // forward): scatter into destination-grouped columns, advancing
-        // each group's start to its end in place.
-        self.sorted_src.resize(dst.len(), 0);
-        self.sorted_word.resize(dst.len(), 0);
-        let mut or_mask = 0u64;
-        let mut sub = 0usize;
-        for ((&s, &d), &w) in src.iter().zip(dst).zip(word) {
-            while s >= self.boundaries[sub] {
-                sub += 1;
+        // Digest pass, per sender run: senders ascend in generation order,
+        // so each digest chunk's messages form one contiguous run. Binary
+        // search finds the run end; inside a run the fold is branch-free.
+        // Fold order is exactly the old per-message order (generation
+        // order), so ledgers are byte-identical.
+        let mut run_start = 0usize;
+        for (sub, &bound) in self.boundaries.iter().enumerate() {
+            let run_end = run_start + src[run_start..].partition_point(|&s| s < bound);
+            let digest = &mut self.sub_digests[sub];
+            for ((&s, &d), &w) in src[run_start..run_end]
+                .iter()
+                .zip(&dst[run_start..run_end])
+                .zip(&word[run_start..run_end])
+            {
+                digest.fold(message_mix(round, s, d, w));
             }
-            self.sub_digests[sub].fold(message_mix(round, s, d, w));
-            or_mask |= w;
+            run_start = run_end;
+        }
+        debug_assert_eq!(
+            run_start,
+            src.len(),
+            "digest runs did not cover the whole batch"
+        );
+        // Width pass: OR the whole word column in u64 lanes.
+        let or_mask = lane_or_fold(word);
+        // Placement pass: scatter into destination-grouped columns,
+        // advancing each group's start to its end in place. The sorted
+        // columns only ever grow (high-water), so steady-state rounds skip
+        // the resize entirely; `range_for` bounds every read by `index`.
+        if self.sorted_src.len() < dst.len() {
+            self.sorted_src.resize(dst.len(), 0);
+            self.sorted_word.resize(dst.len(), 0);
+        }
+        for ((&s, &d), &w) in src.iter().zip(dst).zip(word) {
             let cursor = &mut self.index[d as usize];
             self.sorted_src[*cursor as usize] = s;
             self.sorted_word[*cursor as usize] = w;
@@ -330,10 +372,13 @@ impl ChunkArena {
         );
         if R::ENABLED {
             let messages = self.stage.len() as u64;
-            let moved = self.stage.words_moved();
+            let moved = self.stage.columns().words_moved();
             let rescans = u64::from(bits_of(or_mask) > bits_limit);
             recorder.count(lane, Counter::Messages, round, ts_ns, messages);
             recorder.count(lane, Counter::Words, round, ts_ns, moved);
+            // Every non-empty seal skips one count pass: the shard was
+            // filled at send time.
+            recorder.count(lane, Counter::CountSkips, round, ts_ns, 1);
             if rescans > 0 {
                 recorder.count(lane, Counter::Rescans, round, ts_ns, rescans);
             }
@@ -369,11 +414,6 @@ impl ChunkArena {
         (&self.sorted_src[start..end], &self.sorted_word[start..end])
     }
 
-    /// Messages this chunk delivers to `d` (count only).
-    #[inline]
-    fn count_for(&self, d: usize) -> usize {
-        self.range_for(d).len()
-    }
     // cc-lint: end_region
 
     fn messages(&self) -> u64 {
@@ -381,11 +421,56 @@ impl ChunkArena {
     }
 }
 
+/// ORs a word column together in 8-wide u64 lanes: the main loop keeps
+/// eight independent accumulators so the compiler can keep them in vector
+/// registers (or at least break the serial OR dependency chain), and the
+/// tail folds the remainder scalar-wise. Equivalent to
+/// `words.iter().fold(0, |m, &w| m | w)` — the unit tests pin that.
+// cc-lint: region(no_alloc)
+#[inline]
+pub(crate) fn lane_or_fold(words: &[u64]) -> u64 {
+    const LANES: usize = 8;
+    let mut acc = [0u64; LANES];
+    let mut chunks = words.chunks_exact(LANES);
+    for chunk in chunks.by_ref() {
+        for (a, &w) in acc.iter_mut().zip(chunk) {
+            *a |= w;
+        }
+    }
+    let tail = chunks.remainder().iter().fold(0u64, |m, &w| m | w);
+    acc.iter().fold(tail, |m, &a| m | a)
+}
+// cc-lint: end_region
+
 /// The driver-side read-out of one merged round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct RoundMerge {
     pub messages: u64,
     pub halted: usize,
+}
+
+/// Driver-owned scratch for the barrier merge, allocated once per run.
+///
+/// [`merge_round`] combines every chunk's send-time count shard into
+/// `recv_words` with one fixed-order pass, then reads receive loads off the
+/// tally — it never rescans the merged columns. Keeping the buffer here
+/// (instead of in an arena) keeps the arenas read-locked-only at the
+/// barrier.
+#[derive(Debug)]
+pub(crate) struct MergeScratch {
+    /// `recv_words[d]` = words delivered to node `d` this round, summed
+    /// over chunks. Zeroed at the start of every merge, so a strict-mode
+    /// early abort cannot leave stale loads behind.
+    recv_words: Vec<u32>,
+}
+
+impl MergeScratch {
+    /// Scratch for an `n`-node clique.
+    pub(crate) fn new(n: usize) -> Self {
+        MergeScratch {
+            recv_words: vec![0; n],
+        }
+    }
 }
 
 /// Read-locks every chunk of a bank into a stack table (the driver at the
@@ -400,10 +485,16 @@ pub(crate) fn read_bank(
 }
 
 /// Merges the sealed chunks of one round in fixed chunk order: folds
-/// digests into the ledger, records violations canonically, and charges the
-/// context. Rounds in which no node sends are free: synchronous rounds
-/// without communication are pure local computation, which the model does
-/// not charge.
+/// digests into the ledger, combines the per-chunk count shards into
+/// `scratch`, records violations canonically, and charges the context.
+/// Rounds in which no node sends are free: synchronous rounds without
+/// communication are pure local computation, which the model does not
+/// charge.
+///
+/// The receive tally is shard arithmetic, not a column scan: each chunk
+/// contributes its send-time counts once, in fixed chunk order, and the
+/// per-destination loads fall out of one O(𝔫·chunks) add — independent of
+/// the number of messages.
 ///
 /// When the recorder is enabled, communicating rounds also emit the
 /// driver-lane telemetry at `ts_ns`: the round charge and the chunk load
@@ -421,6 +512,7 @@ pub(crate) fn read_bank(
 pub(crate) fn merge_round<R: Recorder>(
     round: u64,
     bank: &[RwLock<ChunkArena>],
+    scratch: &mut MergeScratch,
     ctx: &mut ClusterContext,
     ledger: &mut MessageLedger,
     label: &str,
@@ -469,8 +561,17 @@ pub(crate) fn merge_round<R: Recorder>(
                 })?;
             }
         }
-        for d in 0..n {
-            let words: usize = chunks().map(|c| c.count_for(d)).sum();
+        // Combine the send-time count shards in fixed chunk order. Zero
+        // first: a strict-mode `?` above may have aborted a previous merge
+        // mid-flight, and this keeps the tally self-contained either way.
+        scratch.recv_words.fill(0);
+        for chunk in chunks() {
+            for (tally, &count) in scratch.recv_words.iter_mut().zip(chunk.counts()) {
+                *tally += count;
+            }
+        }
+        for (d, &tally) in scratch.recv_words.iter().enumerate().take(n) {
+            let words = tally as usize;
             max_recv = max_recv.max(words);
             if words > limit {
                 ctx.record_violation(Violation {
@@ -591,12 +692,14 @@ mod tests {
         };
         let mut ctx1 = ClusterContext::new(ExecutionModel::congested_clique(n));
         let mut one = MessageLedger::new();
+        let mut scratch = MergeScratch::new(n);
         let mut whole = ChunkArena::for_group(n, 1, 0);
         send(&mut whole, 0, n);
         whole.seal(0, 16, 0, 0, &NoopRecorder);
         merge_round(
             0,
             &bank(whole),
+            &mut scratch,
             &mut ctx1,
             &mut one,
             "t",
@@ -618,7 +721,18 @@ mod tests {
                 RwLock::new(arena)
             })
             .collect();
-        merge_round(0, &split, &mut ctx2, &mut many, "t", 16, 0, &NoopRecorder).unwrap();
+        merge_round(
+            0,
+            &split,
+            &mut scratch,
+            &mut ctx2,
+            &mut many,
+            "t",
+            16,
+            0,
+            &NoopRecorder,
+        )
+        .unwrap();
         assert_eq!(one, many);
     }
 
@@ -668,6 +782,7 @@ mod tests {
         let merge = merge_round(
             3,
             &bank(arena),
+            &mut MergeScratch::new(n),
             &mut ctx,
             &mut ledger,
             "test",
@@ -699,6 +814,7 @@ mod tests {
         let merge = merge_round(
             0,
             &bank(arena),
+            &mut MergeScratch::new(2),
             &mut ctx,
             &mut ledger,
             "test",
@@ -722,6 +838,7 @@ mod tests {
         let err = merge_round(
             0,
             &bank(arena),
+            &mut MergeScratch::new(2),
             &mut ctx,
             &mut ledger,
             "test",
@@ -740,6 +857,104 @@ mod tests {
         stage_outbox(&mut arena, 1, &[(0, 1 << 20)], 100);
         arena.seal(0, 16, 0, 0, &NoopRecorder);
         assert_eq!(arena.wide_messages, vec![(0, 64), (1, 21)]);
+    }
+
+    #[test]
+    fn wide_rescan_finds_offenders_across_lane_boundaries() {
+        // The width OR runs in 8-wide lanes with a scalar tail; put
+        // offenders in the first full lane block, a later block, and the
+        // remainder, with narrow filler between, and make the batch long
+        // enough (>2 blocks + tail) that every code path executes.
+        let n = 8;
+        let mut arena = ChunkArena::new(n);
+        let mut offenders = Vec::new();
+        for s in 0..n as u32 {
+            // 8 narrow words each => 64 staged; then a few tail sends.
+            let outbox: Vec<(u32, u64)> = (0..8).map(|j| ((s + j) % n as u32, 1)).collect();
+            stage_outbox(&mut arena, s, &outbox, 100);
+        }
+        // Overwrite positions by staging three extra wide sends from the
+        // last sender: they land at indices 64, 65, 66 — i.e. lane block 8
+        // and the chunks_exact remainder.
+        stage_outbox(&mut arena, 7, &[(0, 1 << 30), (1, 1), (2, u64::MAX)], 100);
+        offenders.push((7, 31));
+        offenders.push((7, 64));
+        arena.seal(0, 16, 0, 0, &NoopRecorder);
+        assert_eq!(arena.wide_messages, offenders);
+    }
+
+    #[test]
+    fn lane_or_fold_matches_scalar_fold_on_fixed_patterns() {
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65] {
+            let words: Vec<u64> = (0..len as u64).map(|i| 1 << (i % 64)).collect();
+            let scalar = words.iter().fold(0u64, |m, &w| m | w);
+            assert_eq!(lane_or_fold(&words), scalar, "len = {len}");
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::collection::vec as pvec;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The 8-lane OR fold is exactly the scalar OR fold, and the
+            /// width verdict it implies agrees with a per-message
+            /// `bits_of` scan, for arbitrary word columns (including lane
+            /// remainders of every size).
+            #[test]
+            fn lane_fold_agrees_with_per_message_scan(
+                words in pvec(any::<u64>(), 0..100),
+                limit in 1u32..64,
+            ) {
+                let mask = lane_or_fold(&words);
+                prop_assert_eq!(mask, words.iter().fold(0u64, |m, &w| m | w));
+                let lane_verdict = bits_of(mask) > limit;
+                let scan_verdict = words.iter().any(|&w| bits_of(w) > limit);
+                prop_assert_eq!(lane_verdict, scan_verdict);
+            }
+
+            /// Sharded per-worker count shards, combined in fixed chunk
+            /// order, equal the single-arena reference counts for
+            /// arbitrary outbox scripts at 1, 2, and 4 worker threads.
+            #[test]
+            fn sharded_counts_match_the_single_arena_reference(
+                scripts in (2usize..24).prop_flat_map(|n| pvec(
+                    pvec((0u32..n as u32, 0u64..1024), 0..8),
+                    n..=n,
+                )),
+            ) {
+                let n = scripts.len();
+                // Reference: one arena covering every sender.
+                let mut whole = ChunkArena::for_group(n, 1, 0);
+                for (s, outbox) in scripts.iter().enumerate() {
+                    stage_outbox(&mut whole, s as u32, outbox, usize::MAX);
+                }
+                let reference: Vec<u32> = whole.counts().to_vec();
+                let direct: Vec<u32> = (0..n as u32).map(|d| {
+                    scripts.iter().flatten().filter(|&&(dst, _)| dst == d).count() as u32
+                }).collect();
+                prop_assert_eq!(&reference, &direct);
+                for threads in [1usize, 2, 4] {
+                    let exec = exec_chunk_count(n, threads);
+                    let mut combined = vec![0u32; n];
+                    // Fixed chunk order, exactly as `merge_round` walks
+                    // the bank.
+                    for k in 0..exec {
+                        let mut arena = ChunkArena::for_group(n, exec, k);
+                        for s in group_node_range(n, exec, k) {
+                            stage_outbox(&mut arena, s as u32, &scripts[s], usize::MAX);
+                        }
+                        for (tally, &count) in combined.iter_mut().zip(arena.counts()) {
+                            *tally += count;
+                        }
+                    }
+                    prop_assert!(combined == reference, "threads = {threads}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -64,16 +64,22 @@ pub enum Counter {
     /// Load imbalance across chunks, in permille of a perfectly even
     /// split (1000 = even, 2000 = the fullest chunk carried 2x its share).
     ImbalancePermille,
+    /// Counting-sort count passes skipped because the per-destination
+    /// shard was already filled at send time (1 per non-empty seal).
+    // New variants append here: the packed-event code is the declaration
+    // index, and old captures must keep decoding.
+    CountSkips,
 }
 
 impl Counter {
     /// All counters, in display order.
-    pub const ALL: [Counter; 5] = [
+    pub const ALL: [Counter; 6] = [
         Counter::Messages,
         Counter::Words,
         Counter::Rescans,
         Counter::Rounds,
         Counter::ImbalancePermille,
+        Counter::CountSkips,
     ];
 
     /// Stable display name (also the Perfetto counter-track name).
@@ -85,6 +91,7 @@ impl Counter {
             Counter::Rescans => "width-rescans",
             Counter::Rounds => "rounds-charged",
             Counter::ImbalancePermille => "chunk-imbalance-permille",
+            Counter::CountSkips => "count-pass-skips",
         }
     }
 

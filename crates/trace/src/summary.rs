@@ -37,6 +37,9 @@ pub struct RoundTrace {
     pub rescans: u64,
     /// Chunk load imbalance this round, in permille (1000 = even).
     pub imbalance_permille: u64,
+    /// Counting-sort count passes skipped this round (one per non-empty
+    /// chunk seal — the send-time shard made them free).
+    pub count_skips: u64,
 }
 
 impl RoundTrace {
@@ -60,6 +63,7 @@ impl RoundTrace {
             Counter::Rounds => {}
             // One driver emission per round; keep the value, not a sum.
             Counter::ImbalancePermille => self.imbalance_permille = value,
+            Counter::CountSkips => self.count_skips += value,
         }
     }
 }
@@ -131,14 +135,14 @@ impl TraceSummary {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(
-            "  round | route(us) |  step(us) | check(us) | barrier(us) |     msgs |    words | rescans | imb(permille)\n",
+            "  round | route(us) |  step(us) | check(us) | barrier(us) |     msgs |    words | rescans | skips | imb(permille)\n",
         );
         out.push_str(
-            "  ------+-----------+-----------+-----------+-------------+----------+----------+---------+--------------\n",
+            "  ------+-----------+-----------+-----------+-------------+----------+----------+---------+-------+--------------\n",
         );
         for row in &self.rounds {
             out.push_str(&format!(
-                "  {:>5} | {:>9.1} | {:>9.1} | {:>9.1} | {:>11.1} | {:>8} | {:>8} | {:>7} | {:>13}\n",
+                "  {:>5} | {:>9.1} | {:>9.1} | {:>9.1} | {:>11.1} | {:>8} | {:>8} | {:>7} | {:>5} | {:>13}\n",
                 row.round,
                 row.route_ns as f64 / 1e3,
                 row.step_ns as f64 / 1e3,
@@ -147,6 +151,7 @@ impl TraceSummary {
                 row.messages,
                 row.words,
                 row.rescans,
+                row.count_skips,
                 row.imbalance_permille,
             ));
         }
@@ -192,6 +197,7 @@ mod tests {
                     100 * round + 70,
                 );
                 rec.count(lane, Counter::Messages, round, 100 * round + 60, 10 + round);
+                rec.count(lane, Counter::CountSkips, round, 100 * round + 60, 1);
             }
             rec.span(
                 DRIVER_LANE,
@@ -223,6 +229,7 @@ mod tests {
         assert_eq!(r1.barrier_wait_ns, 20);
         assert_eq!(r1.check_ns, 20);
         assert_eq!(r1.messages, 22);
+        assert_eq!(r1.count_skips, 2); // one per lane
         assert_eq!(r1.imbalance_permille, 1200);
         assert_eq!(summary.totals().0, 20 + 22 + 24);
         assert_eq!(summary.dropped, 0);
