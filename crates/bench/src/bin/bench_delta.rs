@@ -135,6 +135,21 @@ fn main() -> ExitCode {
     ) {
         println!("  {last_name} skewed workloads: hot-receiver {hot:.1} ns/msg, power-law {plaw:.1} ns/msg");
     }
+    // fault_ns_per_msg only exists in records written after the fault
+    // plane landed: the same workload with a zero-rate `PlanInjector`
+    // armed (checkpoint every round, digest check every barrier, no fault
+    // ever fires). The overhead of *arming* should be within noise of the
+    // NoopInjector number.
+    if let (Some(fault), Some(noop)) = (
+        field(last_json, "fault_ns_per_msg"),
+        field(last_json, "ns_per_msg"),
+    ) {
+        let overhead = (fault - noop) / noop.max(f64::MIN_POSITIVE) * 100.0;
+        println!(
+            "  {last_name} fault plane armed (zero-rate): {fault:.1} vs {noop:.1} \
+             ns/msg = {overhead:+.1}% overhead"
+        );
+    }
     if let Some(pct) = fail_above {
         // Gate the newest record against the second-newest: the committed
         // per-PR baseline the fresh CI measurement is expected to hold.

@@ -1,4 +1,4 @@
-//! Runs every experiment (E1–E9) in sequence. Pass --quick for a fast run;
+//! Runs every experiment (E1–E9 and E11) in sequence. Pass --quick for a fast run;
 //! pass --dump to also write the tracked message-plane benchmark record to
 //! `BENCH_CURRENT.json` (E9 ns/msg, engine rounds, barrier wait, host CPUs)
 //! so CI can archive it and diff it against the committed trajectory
@@ -19,6 +19,7 @@ fn main() {
     cc_bench::experiments::e7_comparison::run(scale);
     cc_bench::experiments::e8_ablation::run(scale);
     cc_bench::experiments::e9_engine::run(scale);
+    cc_bench::experiments::e11_chaos::run(scale);
     if dump {
         cc_bench::experiments::e9_engine::write_bench_record(Path::new("BENCH_CURRENT.json"));
     }

@@ -27,7 +27,7 @@ use std::time::Instant;
 use cc_mis::engine::EngineLubyMis;
 use cc_mis::luby::LubyMis;
 use cc_runtime::trace::{ChromeTrace, RingRecorder};
-use cc_runtime::{Engine, EngineConfig, NodeEnv, NodeProgram, NodeStatus};
+use cc_runtime::{Engine, EngineConfig, FaultPlan, NodeEnv, NodeProgram, NodeStatus};
 use cc_sim::{ClusterContext, ExecutionModel};
 use clique_coloring::baselines::engine_trial::EngineTrialColoring;
 use clique_coloring::baselines::trial::RandomizedTrialColoring;
@@ -484,6 +484,12 @@ pub struct PlaneBenchRecord {
     /// ns/msg of the power-law-destination blast (a few receivers carry
     /// most of the load; absent from records written before PR 8).
     pub plaw_ns_per_msg: f64,
+    /// ns/msg of the same trial-coloring workload with a zero-rate
+    /// `cc-fault` `PlanInjector` armed: checkpointing and damage checks run
+    /// every round but no fault ever fires, so the delta against
+    /// `ns_per_msg` is the price of *arming* the fault plane (absent from
+    /// records written before the fault plane existed).
+    pub fault_ns_per_msg: f64,
 }
 
 impl PlaneBenchRecord {
@@ -498,7 +504,8 @@ impl PlaneBenchRecord {
              \"total_messages\": {},\n  \"wall_ms\": {:.3},\n  \
              \"ns_per_msg\": {:.2},\n  \"route_ns\": {},\n  \"step_ns\": {},\n  \
              \"check_ns\": {},\n  \"barrier_wait_ns\": {},\n  \
-             \"hot_ns_per_msg\": {:.2},\n  \"plaw_ns_per_msg\": {:.2}\n}}\n",
+             \"hot_ns_per_msg\": {:.2},\n  \"plaw_ns_per_msg\": {:.2},\n  \
+             \"fault_ns_per_msg\": {:.2}\n}}\n",
             self.n,
             self.host_cpus,
             self.engine_rounds,
@@ -511,6 +518,7 @@ impl PlaneBenchRecord {
             self.barrier_wait_ns,
             self.hot_ns_per_msg,
             self.plaw_ns_per_msg,
+            self.fault_ns_per_msg,
         )
     }
 }
@@ -592,6 +600,24 @@ pub fn bench_message_plane() -> PlaneBenchRecord {
         }
     }
     let (wall_ms, out) = best.expect("three runs measured");
+    // Zero-rate fault-plane companion: a `PlanInjector` whose plan never
+    // fires still checkpoints every round and digest-checks every barrier.
+    // The record tracks its ns/msg next to the NoopInjector number so
+    // `bench_delta` can show what arming the fault plane costs.
+    let mut fault_best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let fault_out = runner
+            .run_with_faults(&instance, model.clone(), FaultPlan::new(0))
+            .expect("bench fault run");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            fault_out.ledger, out.ledger,
+            "a zero-rate fault plan changed the benched ledger"
+        );
+        assert_eq!(fault_out.health.faults_injected, 0);
+        fault_best = fault_best.min(ms * 1e6 / fault_out.ledger.total_messages().max(1) as f64);
+    }
     // Skewed-destination companions: the all-to-one hot receiver and a
     // power-law destination map (same shapes as `benches/router.rs`), so
     // counting-sort degeneracies show up in the tracked record.
@@ -622,6 +648,7 @@ pub fn bench_message_plane() -> PlaneBenchRecord {
         barrier_wait_ns: out.timings.barrier_wait_ns,
         hot_ns_per_msg,
         plaw_ns_per_msg,
+        fault_ns_per_msg: fault_best,
     }
 }
 

@@ -16,7 +16,10 @@ use cc_graph::instance::ListColoringInstance;
 use cc_graph::{Color, NodeId};
 use cc_runtime::programs::trial::TrialColoringProgram;
 use cc_runtime::trace::{Recorder, RingRecorder, TraceSummary};
-use cc_runtime::{Engine, EngineConfig, MessageLedger, NodeProgram, PhaseTimings};
+use cc_runtime::{
+    Engine, EngineConfig, EngineHealth, FaultInjector, FaultPlan, MessageLedger, NodeProgram,
+    PhaseTimings, PlanInjector,
+};
 use cc_sim::ExecutionModel;
 
 use crate::error::CoreError;
@@ -61,6 +64,12 @@ pub struct EngineTrialOutcome {
     pub timings: PhaseTimings,
     /// The per-round trace aggregation, when run with a recorder.
     pub trace: Option<TraceSummary>,
+    /// Fault-injection and recovery health (all zeros when fault-free).
+    pub health: EngineHealth,
+    /// Nodes the deterministic greedy pass colored or re-colored after the
+    /// engine stopped: round-cap leftovers, crashed nodes, and (on degraded
+    /// runs) nodes whose committed color conflicted with a neighbor's.
+    pub recolored_nodes: usize,
 }
 
 impl EngineTrialColoring {
@@ -108,11 +117,35 @@ impl EngineTrialColoring {
         )
     }
 
-    fn run_on<R: Recorder>(
+    /// Runs the baseline under deterministic fault injection: the seeded
+    /// `plan` drives message drops/duplicates/corruptions, stalls, and
+    /// crash-stops, with damaged rounds retried from checkpoints (the
+    /// engine's default [`cc_runtime::RetryPolicy`]). Crashed or
+    /// conflict-damaged nodes are repaired by the deterministic greedy
+    /// pass, so the returned coloring is always proper; see the outcome's
+    /// `health` and `recolored_nodes` for what the run survived.
+    ///
+    /// # Errors
+    ///
+    /// As [`EngineTrialColoring::run`].
+    pub fn run_with_faults(
         &self,
         instance: &ListColoringInstance,
         model: ExecutionModel,
-        engine: Engine<R>,
+        plan: FaultPlan,
+    ) -> Result<EngineTrialOutcome, CoreError> {
+        self.run_on(
+            instance,
+            model,
+            Engine::with_faults(self.engine_config(), PlanInjector::new(plan)),
+        )
+    }
+
+    fn run_on<R: Recorder, F: FaultInjector>(
+        &self,
+        instance: &ListColoringInstance,
+        model: ExecutionModel,
+        engine: Engine<R, F>,
     ) -> Result<EngineTrialOutcome, CoreError> {
         instance.validate()?;
         let graph = instance.graph();
@@ -133,10 +166,26 @@ impl EngineTrialColoring {
         for (i, output) in run.outputs.iter().enumerate() {
             let v = NodeId::from_index(i);
             match output {
-                Some(c) => coloring.assign(v, Color(*c))?,
+                Some(c) => {
+                    // On a degraded execution (committed damage or crashed
+                    // nodes) two neighbors can end up agreeing on a color;
+                    // demote the larger-id endpoint of every conflicting
+                    // edge to the greedy repair below.
+                    let conflicted = run.health.degraded
+                        && graph
+                            .neighbor_slice(v)
+                            .iter()
+                            .any(|u| u.index() < i && run.outputs[u.index()] == Some(*c));
+                    if conflicted {
+                        uncolored.push(v);
+                    } else {
+                        coloring.assign(v, Color(*c))?;
+                    }
+                }
                 None => uncolored.push(v),
             }
         }
+        let recolored_nodes = uncolored.len();
         if !uncolored.is_empty() {
             // Round cap hit: finish deterministically, as the centralized
             // baseline does, against palettes pruned of neighbor colors.
@@ -156,6 +205,8 @@ impl EngineTrialColoring {
             engine_rounds: run.rounds,
             timings: run.timings,
             trace: run.trace,
+            health: run.health,
+            recolored_nodes,
         })
     }
 }
@@ -232,6 +283,59 @@ mod tests {
         let summary = traced.trace.unwrap();
         assert_eq!(summary.rounds.len() as u64, traced.engine_rounds);
         assert!(recorder.recorded_events() > 0);
+    }
+
+    #[test]
+    fn faulted_runs_recover_the_fault_free_coloring_and_ledger() {
+        let graph = generators::gnp(110, 0.07, 6).unwrap();
+        let instance = ListColoringInstance::delta_plus_one(&graph).unwrap();
+        let model = ExecutionModel::congested_clique(110);
+        let clean = EngineTrialColoring::default()
+            .run(&instance, model.clone())
+            .unwrap();
+        for threads in [1, 4] {
+            let plan = FaultPlan::new(0xc0de)
+                .with_drop(25)
+                .with_duplicate(15)
+                .with_corrupt(15);
+            let faulted = EngineTrialColoring {
+                threads,
+                ..EngineTrialColoring::default()
+            }
+            .run_with_faults(&instance, model.clone(), plan)
+            .unwrap();
+            assert!(faulted.health.faults_injected > 0, "threads {threads}");
+            assert!(!faulted.health.degraded, "threads {threads}");
+            assert_eq!(faulted.recolored_nodes, 0, "threads {threads}");
+            assert_eq!(
+                faulted.outcome.coloring, clean.outcome.coloring,
+                "threads {threads}"
+            );
+            assert_eq!(faulted.ledger, clean.ledger, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn crashed_nodes_are_repaired_to_a_proper_coloring() {
+        let graph = generators::gnp(90, 0.1, 12).unwrap();
+        let instance = ListColoringInstance::delta_plus_one(&graph).unwrap();
+        // Round-0 crashes: a later round could miss a node that has
+        // already colored itself and halted (halted nodes cannot crash).
+        let plan = FaultPlan::new(3)
+            .with_crash(4, 0)
+            .with_crash(31, 0)
+            .with_crash(70, 0);
+        let out = EngineTrialColoring {
+            threads: 2,
+            ..EngineTrialColoring::default()
+        }
+        .run_with_faults(&instance, ExecutionModel::congested_clique(90), plan)
+        .unwrap();
+        assert!(out.health.degraded);
+        assert_eq!(out.health.crashed_nodes, 3);
+        assert!(out.recolored_nodes > 0);
+        // The repair pass leaves a proper list coloring regardless.
+        out.outcome.coloring.verify(&instance).unwrap();
     }
 
     #[test]

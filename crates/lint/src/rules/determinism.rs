@@ -16,15 +16,19 @@ use crate::report::{Finding, Rule};
 use crate::rules::{push, FileContext};
 
 /// Modules in which *all* code is held to the determinism rule (the
-/// message plane, the engine driver, and the trace plane's hot path —
-/// recording must never introduce a result-visible determinism source).
-const HOT_MODULES: [&str; 6] = [
+/// message plane, the engine driver, the trace plane's hot path —
+/// recording must never introduce a result-visible determinism source —
+/// and the fault plane: injected faults must be a pure function of model
+/// coordinates, never of wall clock or thread timing).
+const HOT_MODULES: [&str; 8] = [
     "crates/runtime/src/router.rs",
     "crates/runtime/src/columns.rs",
     "crates/runtime/src/engine.rs",
     "crates/runtime/src/pool.rs",
     "crates/trace/src/ring.rs",
     "crates/trace/src/recorder.rs",
+    "crates/fault/src/plan.rs",
+    "crates/fault/src/injector.rs",
 ];
 
 /// Hash-order-dependent collections and hashers.

@@ -11,7 +11,10 @@ use std::sync::Arc;
 use cc_graph::csr::CsrGraph;
 use cc_runtime::programs::luby::LubyMisProgram;
 use cc_runtime::trace::{Recorder, RingRecorder, TraceSummary};
-use cc_runtime::{word_bits_limit, Engine, EngineConfig, MessageLedger, NodeProgram, PhaseTimings};
+use cc_runtime::{
+    word_bits_limit, Engine, EngineConfig, EngineHealth, FaultInjector, FaultPlan, MessageLedger,
+    NodeProgram, PhaseTimings, PlanInjector,
+};
 use cc_sim::{ExecutionModel, ExecutionReport, SimError};
 
 use crate::MisResult;
@@ -56,6 +59,8 @@ pub struct EngineMisOutcome {
     pub timings: PhaseTimings,
     /// The per-round trace aggregation, when run with a recorder.
     pub trace: Option<TraceSummary>,
+    /// Fault-injection and recovery health (all zeros when fault-free).
+    pub health: EngineHealth,
 }
 
 impl EngineLubyMis {
@@ -103,11 +108,35 @@ impl EngineLubyMis {
         )
     }
 
-    fn run_on<R: Recorder>(
+    /// Runs the algorithm under deterministic fault injection: the seeded
+    /// `plan` drives message drops/duplicates/corruptions, stalls, and
+    /// crash-stops, with damaged rounds retried from checkpoints (the
+    /// engine's default [`cc_runtime::RetryPolicy`]). Degraded runs are
+    /// repaired deterministically — adjacent joiners are evicted, then the
+    /// greedy completion restores independence and maximality — so the
+    /// returned set is always a valid MIS; see the outcome's `health`.
+    ///
+    /// # Errors
+    ///
+    /// As [`EngineLubyMis::run`].
+    pub fn run_with_faults(
         &self,
         graph: &CsrGraph,
         model: ExecutionModel,
-        engine: Engine<R>,
+        plan: FaultPlan,
+    ) -> Result<EngineMisOutcome, SimError> {
+        self.run_on(
+            graph,
+            model,
+            Engine::with_faults(self.engine_config(), PlanInjector::new(plan)),
+        )
+    }
+
+    fn run_on<R: Recorder, F: FaultInjector>(
+        &self,
+        graph: &CsrGraph,
+        model: ExecutionModel,
+        engine: Engine<R, F>,
     ) -> Result<EngineMisOutcome, SimError> {
         let n = graph.node_count();
         let bits = word_bits_limit(n);
@@ -125,8 +154,23 @@ impl EngineLubyMis {
         // safety valves. A completed run has no `None`s and is returned
         // verbatim.
         let mut in_set: Vec<bool> = run.outputs.iter().map(|o| o.unwrap_or(false)).collect();
+        if run.health.degraded {
+            // Committed damage or crash-stops can leave two adjacent
+            // joiners; evict the larger-id endpoint of every such edge so
+            // the completion below restores independence, then maximality.
+            for i in 0..in_set.len() {
+                if in_set[i]
+                    && graph
+                        .neighbor_slice(cc_graph::NodeId::from_index(i))
+                        .iter()
+                        .any(|u| u.index() < i && in_set[u.index()])
+                {
+                    in_set[i] = false;
+                }
+            }
+        }
         for (i, output) in run.outputs.iter().enumerate() {
-            if output.is_none()
+            if (output.is_none() || (run.health.degraded && !in_set[i]))
                 && !graph
                     .neighbors(cc_graph::NodeId::from_index(i))
                     .any(|u| in_set[u.index()])
@@ -143,6 +187,7 @@ impl EngineLubyMis {
             ledger: run.ledger,
             timings: run.timings,
             trace: run.trace,
+            health: run.health,
         })
     }
 }
@@ -198,6 +243,46 @@ mod tests {
         assert_eq!(plain.ledger, traced.ledger);
         assert!(traced.trace.unwrap().events > 0);
         assert!(recorder.recorded_events() > 0);
+    }
+
+    #[test]
+    fn faulted_runs_recover_the_fault_free_mis_and_ledger() {
+        let g = generators::gnp(110, 0.07, 2).unwrap();
+        let model = ExecutionModel::congested_clique(110);
+        let clean = EngineLubyMis::default().run(&g, model.clone()).unwrap();
+        for threads in [1, 4] {
+            let plan = FaultPlan::new(0x717b)
+                .with_drop(25)
+                .with_duplicate(15)
+                .with_corrupt(15);
+            let faulted = EngineLubyMis {
+                threads,
+                ..EngineLubyMis::default()
+            }
+            .run_with_faults(&g, model.clone(), plan)
+            .unwrap();
+            assert!(faulted.health.faults_injected > 0, "threads {threads}");
+            assert!(!faulted.health.degraded, "threads {threads}");
+            assert_eq!(faulted.result, clean.result, "threads {threads}");
+            assert_eq!(faulted.ledger, clean.ledger, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn crashed_nodes_still_yield_a_valid_mis() {
+        let g = generators::gnp(90, 0.1, 8).unwrap();
+        // Round-0 crashes: a later round could miss a node that has
+        // already decided and halted (halted nodes cannot crash).
+        let plan = FaultPlan::new(5).with_crash(3, 0).with_crash(40, 0);
+        let out = EngineLubyMis {
+            threads: 2,
+            ..EngineLubyMis::default()
+        }
+        .run_with_faults(&g, ExecutionModel::congested_clique(90), plan)
+        .unwrap();
+        assert!(out.health.degraded);
+        assert_eq!(out.health.crashed_nodes, 2);
+        verify_mis(&g, &out.result.in_set).unwrap();
     }
 
     #[test]

@@ -195,6 +195,18 @@ impl Staging {
         &self.counts
     }
 
+    /// Appends one message directly, bumping the count shard exactly as a
+    /// [`SendSink`] push would. This is the router's fault-pass entry
+    /// point: rebuilding a post-fault delivered batch must keep the shard
+    /// consistent with the columns, and the fields are private to this
+    /// module. The destination is trusted — the original send already
+    /// validated it.
+    #[inline]
+    pub(crate) fn push_message(&mut self, src: u32, dst: u32, word: u64) {
+        self.counts[dst as usize] += 1;
+        self.columns.push(src, dst, word);
+    }
+
     /// Clears the staged batch, keeping every allocation. Zeroing the
     /// count shard is skipped entirely after rounds that staged nothing
     /// (the shard is already all zeros), so communication-free rounds pay

@@ -26,13 +26,14 @@
 //! performs no heap allocation at all (asserted by the `alloc_free`
 //! integration test).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 // cc-lint: allow(determinism) — wall clock feeds PhaseTimings diagnostics only, never any result or digest
 use std::time::Instant;
 
-use cc_sim::{ClusterContext, ExecutionModel, ExecutionReport, SimError};
-use cc_trace::{HistKind, NoopRecorder, Phase, Recorder, TraceSummary, DRIVER_LANE};
+use cc_fault::{FaultInjector, NoopInjector, RetryPolicy};
+use cc_sim::{ClusterContext, ExecutionModel, ExecutionReport, SimError, ViolationPolicy};
+use cc_trace::{Counter, HistKind, NoopRecorder, Phase, Recorder, TraceSummary, DRIVER_LANE};
 
 use crate::columns::{Inbox, InboxSegment};
 use crate::env::NodeEnv;
@@ -44,6 +45,7 @@ use crate::router::{
     exec_chunk_count, group_node_range, merge_round, read_bank, ChunkArena, MergeScratch,
     MAX_CHUNKS,
 };
+use crate::snapshot::{SnapshotSink, SnapshotSource};
 
 /// How an [`Engine`] executes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,6 +61,16 @@ pub struct EngineConfig {
     pub max_rounds: u64,
     /// Phase label under which rounds are charged to the context.
     pub label: String,
+    /// How model violations are handled. `strict: true` overrides this to
+    /// [`ViolationPolicy::FailFast`] (the two fields predate each other;
+    /// `strict` is kept for compatibility). Under
+    /// [`ViolationPolicy::Recover`] with a fault injector attached,
+    /// seal-detectable violations additionally count as round damage and
+    /// trigger the bounded retry loop.
+    pub policy: ViolationPolicy,
+    /// Bounded retry of damaged rounds when a fault injector is attached
+    /// (ignored under the default [`NoopInjector`]).
+    pub retry: RetryPolicy,
 }
 
 impl Default for EngineConfig {
@@ -68,6 +80,8 @@ impl Default for EngineConfig {
             strict: false,
             max_rounds: 100_000,
             label: "engine".to_string(),
+            policy: ViolationPolicy::Record,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -103,6 +117,32 @@ pub struct PhaseTimings {
     pub barrier_wait_ns: u64,
 }
 
+/// Fault-injection and recovery health of one execution — all zeros (and
+/// `degraded` false) when no fault injector was attached or no fault fired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineHealth {
+    /// Message faults applied across *all* delivery attempts, including
+    /// ones a retry rolled back.
+    pub faults_injected: u64,
+    /// Message faults that made it into a committed round (nonzero only
+    /// when retries were exhausted or checkpointing was unsupported).
+    pub faults_committed: u64,
+    /// Damaged-round retries the driver executed.
+    pub retries: u64,
+    /// Rounds whose damage survived every retry and was committed as-is.
+    pub damaged_rounds_committed: u64,
+    /// Nodes crash-stopped by the fault schedule during the run.
+    pub crashed_nodes: u64,
+    /// `u64` words of node-program state checkpointed over the run.
+    pub checkpoint_words: u64,
+    /// Whether the committed execution deviates from the fault-free one:
+    /// damage was committed or nodes crashed. A degraded outcome's outputs
+    /// are still well-defined — callers decide whether (and how) to repair
+    /// them, e.g. the trial-coloring adapter greedily recolors the
+    /// neighborhoods of crashed nodes.
+    pub degraded: bool,
+}
+
 /// The result of one engine execution.
 #[must_use = "the outcome carries the outputs, report, and determinism ledger"]
 #[derive(Debug, Clone)]
@@ -124,6 +164,8 @@ pub struct EngineOutcome<O> {
     /// The per-round trace aggregation, when the engine ran with a
     /// recording [`Recorder`] attached (`None` under [`NoopRecorder`]).
     pub trace: Option<TraceSummary>,
+    /// Fault-injection and recovery health (all zeros when fault-free).
+    pub health: EngineHealth,
 }
 
 /// The per-chunk program state: only the owning chunk's worker touches it
@@ -131,19 +173,39 @@ pub struct EngineOutcome<O> {
 struct ChunkSlots<O> {
     programs: Vec<Option<Box<dyn NodeProgram<Output = O>>>>,
     halted: Vec<bool>,
+    /// Round checkpoint (fault-injected runs only): every live program's
+    /// snapshot words, concatenated, with `checkpoint_at[j]..checkpoint_at
+    /// [j + 1]` delimiting program `j`'s slice, plus the halted flags as
+    /// they were when the round began. Reused every round — high-water
+    /// capacity, no steady-state allocation.
+    checkpoint: Vec<u64>,
+    checkpoint_at: Vec<u32>,
+    checkpoint_halted: Vec<bool>,
+    /// Whether every live program of this chunk supports snapshotting;
+    /// false disables retry for the whole run (damage commits as-is).
+    checkpoint_ok: bool,
 }
 
 /// The whole-run shared state: program slots, the two arena banks, and the
 /// round counter selecting which bank is staged and which is delivered.
 /// Built once per run — workers reference it through one `Arc` for the
 /// run's entire lifetime, so rounds allocate nothing.
-struct Plane<O, R> {
+struct Plane<O, R, F> {
     n: usize,
     chunks: usize,
     bits_limit: u32,
     bandwidth_limit: usize,
     /// Current round; its parity selects the staging bank.
     round: AtomicU64,
+    /// Current delivery attempt of the round (0 = first try); nonzero
+    /// attempts restore the round checkpoint before stepping.
+    attempt: AtomicU32,
+    /// Nodes crash-stopped so far (counted once, on attempt 0).
+    crashed: AtomicU64,
+    /// `u64` words checkpointed so far, summed over rounds and chunks.
+    checkpoint_words: AtomicU64,
+    /// The fault decision source; [`NoopInjector`] by default (zero cost).
+    injector: Arc<F>,
     /// Two banks of chunk arenas: `banks[round & 1]` is staged into this
     /// round, the other bank holds last round's sealed (delivered) chunks.
     banks: [Vec<RwLock<ChunkArena>>; 2],
@@ -163,13 +225,14 @@ struct Plane<O, R> {
     recorder: Arc<R>,
 }
 
-impl<O: Send + 'static, R: Recorder> Plane<O, R> {
+impl<O: Send + 'static, R: Recorder, F: FaultInjector> Plane<O, R, F> {
     fn new(
         programs: Vec<Box<dyn NodeProgram<Output = O>>>,
         bits_limit: u32,
         bandwidth_limit: usize,
         threads: usize,
         recorder: Arc<R>,
+        injector: Arc<F>,
     ) -> Self {
         let n = programs.len();
         let chunks = exec_chunk_count(n, threads);
@@ -185,6 +248,10 @@ impl<O: Send + 'static, R: Recorder> Plane<O, R> {
             slots.push(Mutex::new(ChunkSlots {
                 programs: programs.by_ref().take(len).map(Some).collect(),
                 halted: vec![false; len],
+                checkpoint: Vec::new(),
+                checkpoint_at: Vec::with_capacity(if F::ENABLED { len + 1 } else { 0 }),
+                checkpoint_halted: Vec::with_capacity(if F::ENABLED { len } else { 0 }),
+                checkpoint_ok: true,
             }));
         }
         Plane {
@@ -193,6 +260,10 @@ impl<O: Send + 'static, R: Recorder> Plane<O, R> {
             bits_limit,
             bandwidth_limit,
             round: AtomicU64::new(0),
+            attempt: AtomicU32::new(0),
+            crashed: AtomicU64::new(0),
+            checkpoint_words: AtomicU64::new(0),
+            injector,
             banks: [bank(), bank()],
             slots,
             route_ns: AtomicU64::new(0),
@@ -228,6 +299,59 @@ impl<O: Send + 'static, R: Recorder> Plane<O, R> {
         }
         let mut slots = self.slots[k].lock().expect("chunk slots poisoned");
         let slots = &mut *slots;
+        let attempt = if F::ENABLED {
+            self.attempt.load(Ordering::Acquire)
+        } else {
+            0
+        };
+        let mut checkpoint_words_now = 0u64;
+        if F::ENABLED {
+            // Deterministic per-(round, chunk) stall: pure timing skew to
+            // shake out barrier races; never touches any compared state.
+            let spins = self.injector.stall_spins(round, k);
+            for _ in 0..spins {
+                std::hint::spin_loop();
+            }
+            if attempt == 0 {
+                // Checkpoint every live program before it steps, so a
+                // damaged round can be re-executed from this exact state.
+                slots.checkpoint.clear();
+                slots.checkpoint_at.clear();
+                slots.checkpoint_at.push(0);
+                slots.checkpoint_halted.clear();
+                slots.checkpoint_halted.extend_from_slice(&slots.halted);
+                for (j, program) in slots.programs.iter().enumerate() {
+                    if !slots.halted[j] {
+                        let program = program.as_ref().expect("program taken early");
+                        let mut sink = SnapshotSink::new(&mut slots.checkpoint);
+                        if !program.snapshot(&mut sink) {
+                            slots.checkpoint_ok = false;
+                        }
+                    }
+                    slots.checkpoint_at.push(
+                        u32::try_from(slots.checkpoint.len())
+                            .expect("checkpoint exceeds u32 words"),
+                    );
+                }
+                checkpoint_words_now = slots.checkpoint.len() as u64;
+                self.checkpoint_words
+                    .fetch_add(checkpoint_words_now, Ordering::Relaxed);
+            } else {
+                // Retry: rewind program state and halted flags to the
+                // checkpoint taken on attempt 0 before re-stepping.
+                for j in 0..slots.programs.len() {
+                    slots.halted[j] = slots.checkpoint_halted[j];
+                    if !slots.checkpoint_halted[j] {
+                        let range =
+                            slots.checkpoint_at[j] as usize..slots.checkpoint_at[j + 1] as usize;
+                        let mut source = SnapshotSource::new(&slots.checkpoint[range]);
+                        let program = slots.programs[j].as_mut().expect("program taken early");
+                        let restored = program.restore(&mut source);
+                        debug_assert!(restored, "checkpointed program refused to restore");
+                    }
+                }
+            }
+        }
         // cc-lint: allow(determinism) — phase timing for diagnostics; folded into step_ns, not into results
         let step_start = Instant::now();
         // Scratch for inbox views, written fresh for every node (only the
@@ -237,6 +361,23 @@ impl<O: Send + 'static, R: Recorder> Plane<O, R> {
         for (j, i) in group_node_range(self.n, self.chunks, k).enumerate() {
             if slots.halted[j] {
                 arena.note_halted();
+                continue;
+            }
+            if F::ENABLED
+                && self
+                    .injector
+                    .crash_round(i as u32)
+                    .is_some_and(|crash| round >= crash)
+            {
+                // Crash-stop: the node is quarantined — it stops stepping
+                // and sending, counts as halted for termination, and its
+                // `finish()` yields whatever partial output it had.
+                // Counted once, on the round's first delivery attempt.
+                slots.halted[j] = true;
+                arena.note_halted();
+                if attempt == 0 {
+                    self.crashed.fetch_add(1, Ordering::Relaxed);
+                }
                 continue;
             }
             // The inbox: this node's slice of every delivered chunk that
@@ -278,7 +419,15 @@ impl<O: Send + 'static, R: Recorder> Plane<O, R> {
             Ordering::Relaxed,
         );
         let route_ts = (route_start - self.epoch).as_nanos() as u64;
-        arena.seal(round, self.bits_limit, k, route_ts, &*self.recorder);
+        arena.seal(
+            round,
+            attempt,
+            self.bits_limit,
+            k,
+            route_ts,
+            &*self.recorder,
+            &*self.injector,
+        );
         // cc-lint: allow(determinism) — phase timing for diagnostics; folded into route_ns, not into results
         let route_end = Instant::now();
         self.route_ns.fetch_add(
@@ -294,6 +443,15 @@ impl<O: Send + 'static, R: Recorder> Plane<O, R> {
             self.recorder.span(k, Phase::Step, round, step_ts, route_ts);
             self.recorder
                 .span(k, Phase::Route, round, route_ts, sealed_ts);
+            if F::ENABLED && checkpoint_words_now > 0 {
+                self.recorder.count(
+                    k,
+                    Counter::CheckpointWords,
+                    round,
+                    route_ts,
+                    checkpoint_words_now,
+                );
+            }
         }
     }
     // cc-lint: end_region
@@ -321,18 +479,26 @@ impl<O: Send + 'static, R: Recorder> Plane<O, R> {
 /// report, or ledger digest — recording is diagnostics-only by
 /// construction.
 ///
+/// Likewise generic over a [`FaultInjector`]; the default [`NoopInjector`]
+/// compiles all fault paths out, and attaching a [`cc_fault::PlanInjector`]
+/// (via [`Engine::with_faults`]) drives deterministic message faults,
+/// crash-stops, and the checkpoint/retry recovery loop — see
+/// [`EngineHealth`] for what a faulted run reports.
+///
 /// See the crate docs for the model contract and the determinism guarantee.
 #[derive(Debug)]
-pub struct Engine<R: Recorder = NoopRecorder> {
+pub struct Engine<R: Recorder = NoopRecorder, F: FaultInjector = NoopInjector> {
     config: EngineConfig,
     recorder: Arc<R>,
+    injector: Arc<F>,
 }
 
-impl<R: Recorder> Clone for Engine<R> {
+impl<R: Recorder, F: FaultInjector> Clone for Engine<R, F> {
     fn clone(&self) -> Self {
         Engine {
             config: self.config.clone(),
             recorder: Arc::clone(&self.recorder),
+            injector: Arc::clone(&self.injector),
         }
     }
 }
@@ -344,11 +510,12 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// An engine with the given configuration and no recording.
+    /// An engine with the given configuration and no recording or faults.
     pub fn new(config: EngineConfig) -> Self {
         Engine {
             config,
             recorder: Arc::new(NoopRecorder),
+            injector: Arc::new(NoopInjector),
         }
     }
 }
@@ -358,7 +525,36 @@ impl<R: Recorder> Engine<R> {
     /// shared, not consumed: keep a clone of the `Arc` to export the
     /// capture after the run (or read [`EngineOutcome::trace`]).
     pub fn with_recorder(config: EngineConfig, recorder: Arc<R>) -> Self {
-        Engine { config, recorder }
+        Engine {
+            config,
+            recorder,
+            injector: Arc::new(NoopInjector),
+        }
+    }
+}
+
+impl<F: FaultInjector> Engine<NoopRecorder, F> {
+    /// An engine injecting faults from `injector` (normally a
+    /// [`cc_fault::PlanInjector`] wrapping a seeded [`cc_fault::FaultPlan`]),
+    /// with the checkpoint/retry recovery loop governed by
+    /// [`EngineConfig::retry`].
+    pub fn with_faults(config: EngineConfig, injector: F) -> Self {
+        Engine {
+            config,
+            recorder: Arc::new(NoopRecorder),
+            injector: Arc::new(injector),
+        }
+    }
+}
+
+impl<R: Recorder, F: FaultInjector> Engine<R, F> {
+    /// An engine with both a trace sink and a fault injector attached.
+    pub fn with_recorder_and_faults(config: EngineConfig, recorder: Arc<R>, injector: F) -> Self {
+        Engine {
+            config,
+            recorder,
+            injector: Arc::new(injector),
+        }
     }
 
     /// The engine's configuration.
@@ -369,6 +565,11 @@ impl<R: Recorder> Engine<R> {
     /// The engine's trace sink.
     pub fn recorder(&self) -> &Arc<R> {
         &self.recorder
+    }
+
+    /// The engine's fault injector.
+    pub fn injector(&self) -> &Arc<F> {
+        &self.injector
     }
 
     /// Runs one program per clique node until every node halts (or
@@ -392,11 +593,12 @@ impl<R: Recorder> Engine<R> {
         programs: Vec<Box<dyn NodeProgram<Output = O>>>,
     ) -> Result<EngineOutcome<O>, SimError> {
         let n = programs.len();
-        let mut ctx = if self.config.strict {
-            ClusterContext::strict(model)
+        let policy = if self.config.strict {
+            ViolationPolicy::FailFast
         } else {
-            ClusterContext::new(model)
+            self.config.policy
         };
+        let mut ctx = ClusterContext::with_policy(model, policy);
         let mut ledger = MessageLedger::new();
         if n == 0 {
             return Ok(EngineOutcome {
@@ -411,6 +613,7 @@ impl<R: Recorder> Engine<R> {
                 } else {
                     None
                 },
+                health: EngineHealth::default(),
             });
         }
         let bits_limit = word_bits_limit(n);
@@ -426,6 +629,7 @@ impl<R: Recorder> Engine<R> {
             bandwidth_limit,
             self.config.threads,
             Arc::clone(&self.recorder),
+            Arc::clone(&self.injector),
         ));
         let chunks = plane.chunks;
         // Driver-side merge scratch, allocated once: the barrier combines
@@ -441,8 +645,20 @@ impl<R: Recorder> Engine<R> {
         let mut all_halted = false;
         let mut check_ns = 0u64;
         let mut barrier_wait_ns = 0u64;
-        for round in 0..self.config.max_rounds {
+        let mut health = EngineHealth::default();
+        let mut attempt = 0u32;
+        // Precomputed once so the retry path allocates nothing per round.
+        let retry_label = if F::ENABLED {
+            format!("{}:retry", self.config.label)
+        } else {
+            String::new()
+        };
+        let mut round = 0u64;
+        while round < self.config.max_rounds {
             plane.round.store(round, Ordering::Release);
+            if F::ENABLED {
+                plane.attempt.store(attempt, Ordering::Release);
+            }
             executor.run_indexed(chunks, &step);
             rounds = round + 1;
             // Barrier: workers have finished (the executor joined). One
@@ -459,6 +675,74 @@ impl<R: Recorder> Engine<R> {
                     self.recorder
                         .span(k, Phase::BarrierWait, round, sealed_ts, barrier_ts);
                 }
+            }
+            if F::ENABLED {
+                // Damage check, before the merge commits anything: compare
+                // what receivers will see (the sealed sub-digests) against
+                // what senders intended. A damaged round is re-executed
+                // from its checkpoint while the retry budget and the
+                // programs' snapshot support hold; otherwise the damage
+                // commits and the outcome is flagged degraded.
+                let bank = &plane.banks[(round & 1) as usize];
+                let mut attempt_faults = 0u64;
+                let mut damaged = false;
+                let mut checkpoint_ok = true;
+                for (chunk_arena, chunk_slots) in bank.iter().zip(plane.slots.iter()).take(chunks) {
+                    let arena = chunk_arena.read().expect("chunk arena poisoned");
+                    attempt_faults += arena.faults_injected();
+                    damaged |= arena.damaged()
+                        || (policy == ViolationPolicy::Recover && arena.has_violations());
+                    checkpoint_ok &= chunk_slots
+                        .lock()
+                        .expect("chunk slots poisoned")
+                        .checkpoint_ok;
+                }
+                health.faults_injected += attempt_faults;
+                if damaged && checkpoint_ok && attempt < self.config.retry.max_round_retries {
+                    // Roll the round back: charge the wasted attempt (plus
+                    // any backoff) under its own label, skip the merge, and
+                    // step the same round again from the checkpoint.
+                    attempt += 1;
+                    health.retries += 1;
+                    ctx.charge_rounds(&retry_label, 1 + self.config.retry.backoff_rounds);
+                    if R::ENABLED {
+                        self.recorder.count(
+                            DRIVER_LANE,
+                            Counter::RoundRetries,
+                            round,
+                            barrier_ts,
+                            1,
+                        );
+                    }
+                    check_ns += check_start.elapsed().as_nanos() as u64;
+                    continue;
+                }
+                if damaged {
+                    health.damaged_rounds_committed += 1;
+                }
+                health.faults_committed += attempt_faults;
+                if R::ENABLED {
+                    if attempt_faults > 0 {
+                        self.recorder.count(
+                            DRIVER_LANE,
+                            Counter::FaultsInjected,
+                            round,
+                            barrier_ts,
+                            attempt_faults,
+                        );
+                    }
+                    let crashed = plane.crashed.load(Ordering::Relaxed);
+                    if crashed > 0 {
+                        self.recorder.count(
+                            DRIVER_LANE,
+                            Counter::CrashedNodes,
+                            round,
+                            barrier_ts,
+                            crashed,
+                        );
+                    }
+                }
+                attempt = 0;
             }
             // Merge the staged bank in fixed chunk order on the driving
             // thread.
@@ -484,12 +768,18 @@ impl<R: Recorder> Engine<R> {
             if all_halted {
                 break;
             }
+            round += 1;
         }
 
         drop(step);
         let plane = Arc::try_unwrap(plane)
             .map_err(|_| ())
             .expect("worker still holds plane state after the final barrier");
+        if F::ENABLED {
+            health.crashed_nodes = plane.crashed.load(Ordering::Relaxed);
+            health.checkpoint_words = plane.checkpoint_words.load(Ordering::Relaxed);
+            health.degraded = health.damaged_rounds_committed > 0 || health.crashed_nodes > 0;
+        }
         let timings = PhaseTimings {
             route_ns: plane.route_ns.load(Ordering::Relaxed),
             step_ns: plane.step_ns.load(Ordering::Relaxed),
@@ -508,6 +798,7 @@ impl<R: Recorder> Engine<R> {
             } else {
                 None
             },
+            health,
         })
     }
 }
@@ -703,33 +994,136 @@ mod tests {
         fn finish(self: Box<Self>) -> u64 {
             self.checksum
         }
+
+        fn snapshot(&self, sink: &mut SnapshotSink<'_>) -> bool {
+            // Only the checksum mutates; left/right/until are fixed.
+            sink.push(self.checksum);
+            true
+        }
+
+        fn restore(&mut self, source: &mut SnapshotSource<'_>) -> bool {
+            self.checksum = source.next_word();
+            true
+        }
+    }
+
+    fn chatter_programs(n: usize) -> Vec<Box<dyn NodeProgram<Output = u64>>> {
+        (0..n)
+            .map(|i| {
+                Box::new(Chatter {
+                    left: ((i + n - 1) % n) as u32,
+                    right: ((i + 1) % n) as u32,
+                    until: 9,
+                    checksum: 0,
+                }) as _
+            })
+            .collect()
     }
 
     #[test]
     fn heavy_chatter_is_deterministic_and_counts_messages() {
         let n = 130;
-        let build = || -> Vec<Box<dyn NodeProgram<Output = u64>>> {
-            (0..n)
-                .map(|i| {
-                    Box::new(Chatter {
-                        left: ((i + n - 1) % n) as u32,
-                        right: ((i + 1) % n) as u32,
-                        until: 9,
-                        checksum: 0,
-                    }) as _
-                })
-                .collect()
-        };
         let baseline = Engine::new(EngineConfig::with_threads(1))
-            .run(ExecutionModel::congested_clique(n), build())
+            .run(ExecutionModel::congested_clique(n), chatter_programs(n))
             .unwrap();
         // 9 sending rounds, 2 messages per node per round.
         assert_eq!(baseline.ledger.total_messages(), 9 * 2 * n as u64);
         let parallel = Engine::new(EngineConfig::with_threads(4))
-            .run(ExecutionModel::congested_clique(n), build())
+            .run(ExecutionModel::congested_clique(n), chatter_programs(n))
             .unwrap();
         assert_eq!(baseline.outputs, parallel.outputs);
         assert_eq!(baseline.ledger, parallel.ledger);
+    }
+
+    #[test]
+    fn a_zero_rate_injector_changes_nothing_but_health() {
+        use cc_fault::{FaultPlan, PlanInjector};
+        let n = 60;
+        let clean = Engine::new(EngineConfig::with_threads(2))
+            .run(ExecutionModel::congested_clique(n), chatter_programs(n))
+            .unwrap();
+        assert_eq!(clean.health, EngineHealth::default());
+        let faulted = Engine::with_faults(
+            EngineConfig::with_threads(2),
+            PlanInjector::new(FaultPlan::new(1)),
+        )
+        .run(ExecutionModel::congested_clique(n), chatter_programs(n))
+        .unwrap();
+        assert_eq!(faulted.outputs, clean.outputs);
+        assert_eq!(faulted.ledger, clean.ledger);
+        assert_eq!(faulted.report, clean.report);
+        assert_eq!(faulted.health.faults_injected, 0);
+        assert_eq!(faulted.health.retries, 0);
+        assert!(faulted.health.checkpoint_words > 0);
+        assert!(!faulted.health.degraded);
+    }
+
+    #[test]
+    fn faulted_runs_recover_the_fault_free_outputs_and_ledger() {
+        use cc_fault::{FaultPlan, PlanInjector};
+        let n = 80;
+        let clean = Engine::new(EngineConfig::with_threads(1))
+            .run(ExecutionModel::congested_clique(n), chatter_programs(n))
+            .unwrap();
+        for threads in [1, 4] {
+            let plan = FaultPlan::new(0xfa17)
+                .with_drop(30)
+                .with_duplicate(20)
+                .with_corrupt(20)
+                .with_stall(100, 400);
+            let faulted =
+                Engine::with_faults(EngineConfig::with_threads(threads), PlanInjector::new(plan))
+                    .run(ExecutionModel::congested_clique(n), chatter_programs(n))
+                    .unwrap();
+            assert!(faulted.health.faults_injected > 0, "threads {threads}");
+            assert!(faulted.health.retries > 0, "threads {threads}");
+            assert_eq!(faulted.health.faults_committed, 0, "threads {threads}");
+            assert_eq!(faulted.health.damaged_rounds_committed, 0);
+            assert!(!faulted.health.degraded, "threads {threads}");
+            // Every damaged round was rolled back and re-delivered clean,
+            // so the committed execution is the fault-free one, bit for bit.
+            assert_eq!(faulted.outputs, clean.outputs, "threads {threads}");
+            assert_eq!(faulted.ledger, clean.ledger, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_commit_the_damage_and_flag_degradation() {
+        use cc_fault::{FaultPlan, PlanInjector, RetryPolicy};
+        let n = 60;
+        let plan = FaultPlan::new(0xfa17).with_drop(120);
+        let faulted = Engine::with_faults(
+            EngineConfig {
+                retry: RetryPolicy::none(),
+                ..EngineConfig::with_threads(2)
+            },
+            PlanInjector::new(plan),
+        )
+        .run(ExecutionModel::congested_clique(n), chatter_programs(n))
+        .unwrap();
+        assert_eq!(faulted.health.retries, 0);
+        assert!(faulted.health.faults_committed > 0);
+        assert!(faulted.health.damaged_rounds_committed > 0);
+        assert!(faulted.health.degraded);
+        assert_eq!(
+            faulted.health.faults_committed,
+            faulted.health.faults_injected
+        );
+    }
+
+    #[test]
+    fn crash_stopped_nodes_degrade_the_outcome() {
+        use cc_fault::{FaultPlan, PlanInjector};
+        let n = 40;
+        let plan = FaultPlan::new(7).with_crash(5, 2).with_crash(17, 0);
+        let outcome = Engine::with_faults(EngineConfig::with_threads(2), PlanInjector::new(plan))
+            .run(ExecutionModel::congested_clique(n), chatter_programs(n))
+            .unwrap();
+        assert!(outcome.all_halted);
+        assert_eq!(outcome.health.crashed_nodes, 2);
+        assert!(outcome.health.degraded);
+        // Node 17 crashed before it ever heard anything.
+        assert_eq!(outcome.outputs[17], 0);
     }
 
     #[test]

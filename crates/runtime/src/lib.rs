@@ -101,6 +101,23 @@
 //! export as Chrome trace-event JSON (Perfetto) or a per-round summary
 //! table; see the `cc-trace` crate docs.
 //!
+//! ## Fault injection & recovery
+//!
+//! The engine is likewise generic over a [`cc_fault::FaultInjector`]
+//! (re-exported as [`fault`]): the default `NoopInjector` compiles every
+//! fault path out — the fault-free hot loop is untouched — while
+//! [`Engine::with_faults`] + a seeded [`cc_fault::FaultPlan`] deliver
+//! deterministic message drops/duplicates/corruptions, per-chunk stalls,
+//! and node crash-stops keyed on model coordinates (round, src, dst,
+//! sequence), never on thread timing. Damage is *detected* at the barrier
+//! by comparing each chunk's delivered digest against the intended one,
+//! and *recovered* by re-executing the round from a flat-word checkpoint
+//! ([`snapshot`]) under a bounded [`cc_fault::RetryPolicy`]; crash-stopped
+//! nodes are quarantined and the outcome is flagged degraded
+//! ([`engine::EngineHealth`]). A recovered run's outputs and ledger are
+//! bit-identical to the fault-free run's at every thread count (asserted
+//! by `tests/chaos_recovery.rs`).
+//!
 //! ## Ported algorithms
 //!
 //! [`programs::trial`] (randomized list coloring) and [`programs::luby`]
@@ -122,12 +139,18 @@ pub mod pool;
 pub mod program;
 pub mod programs;
 mod router;
+pub mod snapshot;
 
+pub use cc_fault as fault;
+pub use cc_fault::{
+    FaultInjector, FaultPlan, MessageFault, NoopInjector, PlanInjector, RetryPolicy,
+};
 pub use cc_trace as trace;
 pub use columns::{Inbox, MessageColumns, SendSink, Staging};
-pub use engine::{Engine, EngineConfig, EngineOutcome, PhaseTimings};
+pub use engine::{Engine, EngineConfig, EngineHealth, EngineOutcome, PhaseTimings};
 pub use env::NodeEnv;
 pub use ledger::{MessageLedger, RoundStats};
 pub use message::{word_bits_limit, Message};
 pub use pool::ChunkedExecutor;
 pub use program::{NodeProgram, NodeStatus};
+pub use snapshot::{push_option, take_option, SnapshotSink, SnapshotSource};

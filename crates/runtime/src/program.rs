@@ -2,6 +2,7 @@
 //! node.
 
 use crate::env::NodeEnv;
+use crate::snapshot::{SnapshotSink, SnapshotSource};
 
 /// What a node tells the engine after a round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +35,26 @@ pub trait NodeProgram: Send {
 
     /// Consumes the program and yields its result after the engine stops.
     fn finish(self: Box<Self>) -> Self::Output;
+
+    /// Serializes the program's complete mutable state into `sink`, for
+    /// round checkpointing under fault injection (see [`crate::snapshot`]).
+    ///
+    /// Returns `false` (the default) when the program does not support
+    /// checkpointing — the engine then cannot retry a damaged round and
+    /// commits it as-is. Implementations must write *every* field
+    /// [`NodeProgram::on_round`] can mutate (including RNG positions), and
+    /// [`NodeProgram::restore`] must read back exactly what was written.
+    fn snapshot(&self, sink: &mut SnapshotSink<'_>) -> bool {
+        let _ = sink;
+        false
+    }
+
+    /// Restores the state written by [`NodeProgram::snapshot`]. Returns
+    /// `false` (the default) when unsupported.
+    fn restore(&mut self, source: &mut SnapshotSource<'_>) -> bool {
+        let _ = source;
+        false
+    }
 }
 
 #[cfg(test)]

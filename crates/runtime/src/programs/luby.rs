@@ -20,6 +20,7 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::env::NodeEnv;
 use crate::program::{NodeProgram, NodeStatus};
+use crate::snapshot::{push_option, take_option, SnapshotSink, SnapshotSource};
 
 /// One node of the Luby MIS protocol.
 #[derive(Debug, Clone)]
@@ -120,6 +121,32 @@ impl NodeProgram for LubyMisProgram {
 
     fn finish(self: Box<Self>) -> Option<bool> {
         self.in_set
+    }
+
+    fn snapshot(&self, sink: &mut SnapshotSink<'_>) -> bool {
+        // `priority_mask` is immutable after construction, so it is not
+        // part of the checkpoint.
+        sink.push(self.neighbors.len() as u64);
+        for &u in &self.neighbors {
+            sink.push(u64::from(u));
+        }
+        sink.push(self.priority);
+        push_option(sink, self.in_set.map(u64::from));
+        sink.push(self.rng.get_word_pos());
+        true
+    }
+
+    fn restore(&mut self, source: &mut SnapshotSource<'_>) -> bool {
+        // Neighbors only ever shrink, so clearing and re-extending stays
+        // within the vector's existing capacity.
+        let neighbors = source.next_word() as usize;
+        self.neighbors.clear();
+        self.neighbors
+            .extend((0..neighbors).map(|_| source.next_word() as u32));
+        self.priority = source.next_word();
+        self.in_set = take_option(source).map(|w| w != 0);
+        self.rng.set_word_pos(source.next_word());
+        true
     }
 }
 
@@ -225,5 +252,30 @@ mod tests {
             1
         );
         assert_valid_mis(&adjacency, &outcome.outputs);
+    }
+
+    #[test]
+    fn snapshot_rewinds_a_stepped_program_exactly() {
+        use crate::columns::{Inbox, Staging};
+        use crate::snapshot::{SnapshotSink, SnapshotSource};
+        let mut program = LubyMisProgram::new(1, vec![0, 2, 3], 8, 13);
+        // Advance the priority round so the RNG and the drawn priority are
+        // mid-flight, then checkpoint.
+        let mut outbox = Staging::new(8);
+        let mut env = NodeEnv::new(1, 8, 0, Inbox::empty(1), &mut outbox);
+        program.on_round(&mut env);
+        let mut words = Vec::new();
+        assert!(program.snapshot(&mut SnapshotSink::new(&mut words)));
+        let at_snapshot = program.clone();
+        // The decide round (empty inbox → local minimum → join) mutates
+        // `in_set`; restore must rewind every mutable field.
+        let mut env = NodeEnv::new(1, 8, 1, Inbox::empty(1), &mut outbox);
+        program.on_round(&mut env);
+        assert_eq!(program.in_set, Some(true));
+        assert!(program.restore(&mut SnapshotSource::new(&words)));
+        assert_eq!(program.neighbors, at_snapshot.neighbors);
+        assert_eq!(program.priority, at_snapshot.priority);
+        assert_eq!(program.in_set, at_snapshot.in_set);
+        assert_eq!(program.rng.get_word_pos(), at_snapshot.rng.get_word_pos());
     }
 }

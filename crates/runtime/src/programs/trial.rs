@@ -18,6 +18,7 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::env::NodeEnv;
 use crate::program::{NodeProgram, NodeStatus};
+use crate::snapshot::{push_option, take_option, SnapshotSink, SnapshotSource};
 
 /// One node of the trial-coloring protocol.
 #[derive(Debug, Clone)]
@@ -122,6 +123,35 @@ impl NodeProgram for TrialColoringProgram {
     fn finish(self: Box<Self>) -> Option<u64> {
         self.color
     }
+
+    fn snapshot(&self, sink: &mut SnapshotSink<'_>) -> bool {
+        sink.push(self.neighbors.len() as u64);
+        for &u in &self.neighbors {
+            sink.push(u64::from(u));
+        }
+        sink.push(self.usable.len() as u64);
+        sink.push_slice(&self.usable);
+        push_option(sink, self.proposal);
+        push_option(sink, self.color);
+        sink.push(self.rng.get_word_pos());
+        true
+    }
+
+    fn restore(&mut self, source: &mut SnapshotSource<'_>) -> bool {
+        // Neighbors and palette only ever shrink, so clearing and
+        // re-extending stays within the vectors' existing capacity.
+        let neighbors = source.next_word() as usize;
+        self.neighbors.clear();
+        self.neighbors
+            .extend((0..neighbors).map(|_| source.next_word() as u32));
+        let usable = source.next_word() as usize;
+        self.usable.clear();
+        self.usable.extend_from_slice(source.take(usable));
+        self.proposal = take_option(source);
+        self.color = take_option(source);
+        self.rng.set_word_pos(source.next_word());
+        true
+    }
 }
 
 #[cfg(test)]
@@ -194,5 +224,30 @@ mod tests {
     #[should_panic(expected = "p(v) > d(v)")]
     fn deficient_palettes_are_rejected() {
         let _ = TrialColoringProgram::new(0, vec![1, 2], vec![5, 9], 1);
+    }
+
+    #[test]
+    fn snapshot_rewinds_a_stepped_program_exactly() {
+        use crate::columns::{Inbox, Staging};
+        let mut program = TrialColoringProgram::new(2, vec![0, 1, 3], vec![0, 1, 2, 3], 7);
+        // Advance one propose round so the RNG and the proposal are
+        // mid-flight, then checkpoint.
+        let mut outbox = Staging::new(8);
+        let mut env = NodeEnv::new(2, 8, 0, Inbox::empty(2), &mut outbox);
+        program.on_round(&mut env);
+        let mut words = Vec::new();
+        assert!(program.snapshot(&mut SnapshotSink::new(&mut words)));
+        let at_snapshot = program.clone();
+        // The resolve round mutates proposal/color; restore must rewind
+        // every mutable field, including the RNG position.
+        let mut env = NodeEnv::new(2, 8, 1, Inbox::empty(2), &mut outbox);
+        program.on_round(&mut env);
+        assert_ne!(program.color, at_snapshot.color);
+        assert!(program.restore(&mut SnapshotSource::new(&words)));
+        assert_eq!(program.neighbors, at_snapshot.neighbors);
+        assert_eq!(program.usable, at_snapshot.usable);
+        assert_eq!(program.proposal, at_snapshot.proposal);
+        assert_eq!(program.color, at_snapshot.color);
+        assert_eq!(program.rng.get_word_pos(), at_snapshot.rng.get_word_pos());
     }
 }

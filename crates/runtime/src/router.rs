@@ -39,6 +39,7 @@
 
 use std::sync::{RwLock, RwLockReadGuard};
 
+use cc_fault::{FaultInjector, MessageFault};
 use cc_sim::error::{Violation, ViolationKind};
 use cc_sim::{ClusterContext, SimError};
 use cc_trace::{Counter, HistKind, Recorder, DRIVER_LANE};
@@ -147,6 +148,20 @@ pub(crate) struct ChunkArena {
     send_overflows: Vec<(u32, usize)>,
     /// Too-wide messages `(sender, bits)`, in generation order.
     wide_messages: Vec<(u32, u32)>,
+    /// The post-fault delivered batch, rebuilt by the seal's fault pass.
+    /// Allocated lazily on the first faulted seal — `None` forever when no
+    /// fault injector is attached, so fault-free runs pay no memory.
+    delivered: Option<Staging>,
+    /// One stream digest per covered digest chunk over the *intended*
+    /// (pre-fault) staged stream. Only folded on faulted seals; the driver
+    /// compares it against `sub_digests` (which then cover the delivered
+    /// stream) to detect round damage before the merge commits anything.
+    intended_digests: Vec<StreamDigest>,
+    /// Whether this round's seal routed a post-fault delivered batch.
+    faulted: bool,
+    /// Message faults the seal applied this round (drops + duplicates +
+    /// corruptions).
+    faults: u64,
 }
 
 impl ChunkArena {
@@ -173,11 +188,15 @@ impl ChunkArena {
             index: vec![0; n + 1],
             routed: false,
             sub_digests: vec![StreamDigest::new(); boundaries.len()],
+            intended_digests: vec![StreamDigest::new(); boundaries.len()],
             boundaries,
             max_send: 0,
             halted: 0,
             send_overflows: Vec::new(),
             wide_messages: Vec::new(),
+            delivered: None,
+            faulted: false,
+            faults: 0,
         }
     }
 
@@ -195,10 +214,16 @@ impl ChunkArena {
         self.stage.clear();
         self.routed = false;
         self.sub_digests.fill(StreamDigest::new());
+        self.intended_digests.fill(StreamDigest::new());
         self.max_send = 0;
         self.halted = 0;
         self.send_overflows.clear();
         self.wide_messages.clear();
+        if let Some(delivered) = &mut self.delivered {
+            delivered.clear();
+        }
+        self.faulted = false;
+        self.faults = 0;
     }
     // cc-lint: end_region
 
@@ -208,12 +233,16 @@ impl ChunkArena {
         &mut self.stage
     }
 
-    /// The per-destination count shard accumulated at send time:
-    /// `counts()[d]` messages of this chunk's batch address node `d`.
-    /// Valid whether or not the arena has been sealed — the shard is
-    /// maintained by the sinks, not by the sort.
+    /// The per-destination count shard of the batch the merge will
+    /// deliver: the send-time shard normally, the post-fault shard when
+    /// this round's seal applied faults. Valid whether or not the arena
+    /// has been sealed — the shards are maintained by the pushes, not by
+    /// the sort.
     pub(crate) fn counts(&self) -> &[u32] {
-        self.stage.counts()
+        match &self.delivered {
+            Some(delivered) if self.faulted => delivered.counts(),
+            _ => self.stage.counts(),
+        }
     }
 
     /// Messages staged so far this round.
@@ -260,29 +289,108 @@ impl ChunkArena {
     /// width-mask rescan fired — as counter events and as per-chunk-round
     /// histogram observations.
     ///
+    /// When a fault injector with message faults is attached, a **fault
+    /// pass** runs first: the intended digests fold over the pristine
+    /// staged stream, then the batch is rebuilt message by message into
+    /// the lazily-allocated `delivered` staging with the injector's
+    /// per-message outcome applied (drop, adjacent duplicate, payload
+    /// corruption) — and the routing below runs over the *delivered*
+    /// batch, so `sub_digests`, the sorted columns, and the count shard
+    /// all describe what receivers actually see. The fault keys are
+    /// `(round, attempt, src, dst, seq-within-sender)` — all
+    /// thread-invariant, so faulted executions stay byte-identical across
+    /// worker counts.
+    ///
     /// `resize` on the high-water-capacity columns and the rare-path
     /// `push`es are amortized-free in steady state (the `alloc_free` test
     /// pins this); the allocating *constructors* stay banned in the region.
+    // Crossing 7 arguments is the injection tax: the seal is where staged
+    // messages become delivered ones, so the fault hook must thread here.
+    #[allow(clippy::too_many_arguments)]
     // cc-lint: region(no_alloc)
-    pub(crate) fn seal<R: Recorder>(
+    pub(crate) fn seal<R: Recorder, F: FaultInjector>(
         &mut self,
         round: u64,
+        attempt: u32,
         bits_limit: u32,
         lane: usize,
         ts_ns: u64,
         recorder: &R,
+        injector: &F,
     ) {
         if self.stage.is_empty() {
             // Communication-free round: `routed` stays false, so every
             // sorted group reads back empty. No O(𝔫) work is spent on a
-            // chunk that sent nothing.
+            // chunk that sent nothing. (Message faults cannot apply — they
+            // only act on messages that exist.)
             return;
         }
         self.routed = true;
         let n = self.n;
-        let counts = self.stage.counts();
-        let (src, dst, word) = {
+        if F::ENABLED && injector.has_message_faults() {
+            self.faulted = true;
+            // Intended digests: fold the pristine staged stream per sender
+            // run, exactly as the routing fold below does for the
+            // delivered stream — equal digests ⇔ undamaged round.
+            {
+                let columns = self.stage.columns();
+                let (src, dst, word) = (columns.src(), columns.dst(), columns.word());
+                let mut run_start = 0usize;
+                for (sub, &bound) in self.boundaries.iter().enumerate() {
+                    let run_end = run_start + src[run_start..].partition_point(|&s| s < bound);
+                    let digest = &mut self.intended_digests[sub];
+                    for ((&s, &d), &w) in src[run_start..run_end]
+                        .iter()
+                        .zip(&dst[run_start..run_end])
+                        .zip(&word[run_start..run_end])
+                    {
+                        digest.fold(message_mix(round, s, d, w));
+                    }
+                    run_start = run_end;
+                }
+            }
+            // Rebuild the delivered batch. Senders ascend in generation
+            // order, so the per-sender sequence number restarts at each
+            // run boundary; duplicates land adjacent to their original,
+            // keeping the `src` column ascending for the digest fold.
+            let delivered = self.delivered.get_or_insert_with(|| Staging::new(n));
+            delivered.clear();
             let columns = self.stage.columns();
+            let (src, dst, word) = (columns.src(), columns.dst(), columns.word());
+            // Senders are `< n ≤ u32::MAX`, so MAX is a safe "no previous
+            // sender" sentinel.
+            let mut cur_src = u32::MAX;
+            let mut seq = 0u32;
+            for ((&s, &d), &w) in src.iter().zip(dst).zip(word) {
+                if s != cur_src {
+                    cur_src = s;
+                    seq = 0;
+                }
+                match injector.message_outcome(round, attempt, s, d, seq, bits_limit) {
+                    None => delivered.push_message(s, d, w),
+                    Some(MessageFault::Drop) => self.faults += 1,
+                    Some(MessageFault::Duplicate) => {
+                        delivered.push_message(s, d, w);
+                        delivered.push_message(s, d, w);
+                        self.faults += 1;
+                    }
+                    Some(MessageFault::Corrupt { mask }) => {
+                        delivered.push_message(s, d, w ^ mask);
+                        self.faults += 1;
+                    }
+                }
+                seq += 1;
+            }
+        }
+        // Route the batch receivers will see: the delivered staging after
+        // a fault pass, the pristine stage otherwise.
+        let routed: &Staging = match &self.delivered {
+            Some(delivered) if self.faulted => delivered,
+            _ => &self.stage,
+        };
+        let counts = routed.counts();
+        let (src, dst, word) = {
+            let columns = routed.columns();
             (columns.src(), columns.dst(), columns.word())
         };
         // Prefix sum over the send-time count shard: counts → group starts
@@ -371,8 +479,8 @@ impl ChunkArena {
             "width-mask fast path and attribution rescan disagree"
         );
         if R::ENABLED {
-            let messages = self.stage.len() as u64;
-            let moved = self.stage.columns().words_moved();
+            let messages = dst.len() as u64;
+            let moved = routed.columns().words_moved();
             let rescans = u64::from(bits_of(or_mask) > bits_limit);
             recorder.count(lane, Counter::Messages, round, ts_ns, messages);
             recorder.count(lane, Counter::Words, round, ts_ns, moved);
@@ -414,11 +522,41 @@ impl ChunkArena {
         (&self.sorted_src[start..end], &self.sorted_word[start..end])
     }
 
-    // cc-lint: end_region
-
+    /// Messages the merge will deliver this round: the post-fault batch
+    /// when the seal applied faults, the staged batch otherwise.
     fn messages(&self) -> u64 {
-        self.stage.len() as u64
+        match &self.delivered {
+            Some(delivered) if self.faulted => delivered.len() as u64,
+            _ => self.stage.len() as u64,
+        }
     }
+
+    /// Message faults this round's seal applied.
+    pub(crate) fn faults_injected(&self) -> u64 {
+        self.faults
+    }
+
+    /// Whether this round's delivered stream differs from the intended
+    /// one — the driver's damage predicate, checked at the barrier
+    /// *before* the merge commits anything. Detection is the same
+    /// machinery the ledger trusts: the per-digest-chunk stream digests
+    /// (drops, duplicates, and corruptions all perturb the fold).
+    pub(crate) fn damaged(&self) -> bool {
+        self.faulted
+            && self
+                .sub_digests
+                .iter()
+                .zip(&self.intended_digests)
+                .any(|(delivered, intended)| delivered.value() != intended.value())
+    }
+
+    /// Whether this round's seal found model violations detectable before
+    /// the merge (too-wide words, send overflows) — the extra damage
+    /// signal the `Recover` violation policy retries on.
+    pub(crate) fn has_violations(&self) -> bool {
+        !self.wide_messages.is_empty() || !self.send_overflows.is_empty()
+    }
+    // cc-lint: end_region
 }
 
 /// ORs a word column together in 8-wide u64 lanes: the main loop keeps
@@ -608,6 +746,7 @@ pub(crate) fn merge_round<R: Recorder>(
 mod tests {
     use super::*;
     use crate::columns::SendSink;
+    use cc_fault::{FaultPlan, NoopInjector, PlanInjector};
     use cc_sim::ExecutionModel;
     use cc_trace::NoopRecorder;
 
@@ -695,7 +834,7 @@ mod tests {
         let mut scratch = MergeScratch::new(n);
         let mut whole = ChunkArena::for_group(n, 1, 0);
         send(&mut whole, 0, n);
-        whole.seal(0, 16, 0, 0, &NoopRecorder);
+        whole.seal(0, 0, 16, 0, 0, &NoopRecorder, &NoopInjector);
         merge_round(
             0,
             &bank(whole),
@@ -717,7 +856,7 @@ mod tests {
                 let mut arena = ChunkArena::for_group(n, exec, k);
                 let nodes = group_node_range(n, exec, k);
                 send(&mut arena, nodes.start, nodes.end);
-                arena.seal(0, 16, 0, 0, &NoopRecorder);
+                arena.seal(0, 0, 16, 0, 0, &NoopRecorder, &NoopInjector);
                 RwLock::new(arena)
             })
             .collect();
@@ -741,7 +880,7 @@ mod tests {
         let mut arena = ChunkArena::new(4);
         stage_outbox(&mut arena, 0, &[(2, 10), (1, 11)], 100);
         stage_outbox(&mut arena, 1, &[(2, 12)], 100);
-        arena.seal(0, 16, 0, 0, &NoopRecorder);
+        arena.seal(0, 0, 16, 0, 0, &NoopRecorder, &NoopInjector);
         assert_eq!(arena.slices_for(2), (&[0u32, 1][..], &[10u64, 12][..]));
         assert_eq!(arena.slices_for(1), (&[0u32][..], &[11u64][..]));
         assert_eq!(arena.slices_for(0), (&[][..], &[][..]));
@@ -753,7 +892,7 @@ mod tests {
         let mut arena = ChunkArena::new(3);
         stage_outbox(&mut arena, 0, &[(1, u64::MAX)], 0);
         arena.note_halted();
-        arena.seal(0, 16, 0, 0, &NoopRecorder);
+        arena.seal(0, 0, 16, 0, 0, &NoopRecorder, &NoopInjector);
         assert_eq!(arena.wide_messages.len(), 1);
         assert_eq!(arena.send_overflows.len(), 1);
         let digest_before = arena.sub_digests[0].value();
@@ -763,7 +902,7 @@ mod tests {
         assert!(arena.wide_messages.is_empty());
         assert!(arena.send_overflows.is_empty());
         assert_ne!(arena.sub_digests[0].value(), digest_before);
-        arena.seal(1, 16, 0, 0, &NoopRecorder);
+        arena.seal(1, 0, 16, 0, 0, &NoopRecorder, &NoopInjector);
         assert_eq!(arena.slices_for(1), (&[][..], &[][..]));
     }
 
@@ -778,7 +917,7 @@ mod tests {
         let flood: Vec<(u32, u64)> = (0..=limit).map(|_| (1, 1)).collect();
         stage_outbox(&mut arena, 0, &flood, limit);
         stage_outbox(&mut arena, 2, &[(3, u64::MAX)], limit);
-        arena.seal(3, 32, 0, 0, &NoopRecorder);
+        arena.seal(3, 0, 32, 0, 0, &NoopRecorder, &NoopInjector);
         let merge = merge_round(
             3,
             &bank(arena),
@@ -810,7 +949,7 @@ mod tests {
         let mut ctx = ClusterContext::strict(ExecutionModel::congested_clique(2));
         let mut ledger = MessageLedger::new();
         let mut arena = ChunkArena::new(2);
-        arena.seal(0, 16, 0, 0, &NoopRecorder);
+        arena.seal(0, 0, 16, 0, 0, &NoopRecorder, &NoopInjector);
         let merge = merge_round(
             0,
             &bank(arena),
@@ -834,7 +973,7 @@ mod tests {
         let mut ledger = MessageLedger::new();
         let mut arena = ChunkArena::new(2);
         stage_outbox(&mut arena, 0, &[(1, u64::MAX)], 100);
-        arena.seal(0, 16, 0, 0, &NoopRecorder);
+        arena.seal(0, 0, 16, 0, 0, &NoopRecorder, &NoopInjector);
         let err = merge_round(
             0,
             &bank(arena),
@@ -855,7 +994,7 @@ mod tests {
         let mut arena = ChunkArena::new(4);
         stage_outbox(&mut arena, 0, &[(1, 3), (2, u64::MAX), (3, 1)], 100);
         stage_outbox(&mut arena, 1, &[(0, 1 << 20)], 100);
-        arena.seal(0, 16, 0, 0, &NoopRecorder);
+        arena.seal(0, 0, 16, 0, 0, &NoopRecorder, &NoopInjector);
         assert_eq!(arena.wide_messages, vec![(0, 64), (1, 21)]);
     }
 
@@ -879,7 +1018,7 @@ mod tests {
         stage_outbox(&mut arena, 7, &[(0, 1 << 30), (1, 1), (2, u64::MAX)], 100);
         offenders.push((7, 31));
         offenders.push((7, 64));
-        arena.seal(0, 16, 0, 0, &NoopRecorder);
+        arena.seal(0, 0, 16, 0, 0, &NoopRecorder, &NoopInjector);
         assert_eq!(arena.wide_messages, offenders);
     }
 
@@ -962,5 +1101,130 @@ mod tests {
     fn out_of_range_destination_panics() {
         let mut arena = ChunkArena::new(2);
         stage_outbox(&mut arena, 0, &[(7, 1)], 100);
+    }
+
+    #[test]
+    fn noop_injector_seal_never_marks_fault_state() {
+        let mut arena = ChunkArena::new(4);
+        stage_outbox(&mut arena, 0, &[(1, 5), (2, 6)], 100);
+        arena.seal(0, 0, 16, 0, 0, &NoopRecorder, &NoopInjector);
+        assert!(!arena.damaged());
+        assert_eq!(arena.faults_injected(), 0);
+        assert!(arena.delivered.is_none(), "no delivered staging allocated");
+    }
+
+    #[test]
+    fn zero_rate_plans_route_exactly_like_fault_free_seals() {
+        let n = 6;
+        let stage = |arena: &mut ChunkArena| {
+            for s in 0..n as u32 {
+                stage_outbox(arena, s, &[((s + 1) % n as u32, u64::from(s) + 10)], 100);
+            }
+        };
+        let mut clean = ChunkArena::new(n);
+        stage(&mut clean);
+        clean.seal(2, 0, 16, 0, 0, &NoopRecorder, &NoopInjector);
+        let mut faulty = ChunkArena::new(n);
+        stage(&mut faulty);
+        let injector = PlanInjector::new(FaultPlan::new(99));
+        faulty.seal(2, 0, 16, 0, 0, &NoopRecorder, &injector);
+        assert!(!faulty.damaged());
+        for d in 0..n {
+            assert_eq!(clean.slices_for(d), faulty.slices_for(d), "dst {d}");
+        }
+        for (a, b) in clean.sub_digests.iter().zip(&faulty.sub_digests) {
+            assert_eq!(a.value(), b.value());
+        }
+    }
+
+    #[test]
+    fn message_faults_mark_damage_and_keep_intended_digests_pristine() {
+        let n = 8;
+        let plan = FaultPlan::new(7).with_drop(300).with_corrupt(200);
+        let injector = PlanInjector::new(plan);
+        let stage = |arena: &mut ChunkArena| {
+            for s in 0..n as u32 {
+                let outbox: Vec<(u32, u64)> = (0..4).map(|j| ((s + j + 1) % n as u32, 3)).collect();
+                stage_outbox(arena, s, &outbox, 100);
+            }
+        };
+        let mut clean = ChunkArena::new(n);
+        stage(&mut clean);
+        clean.seal(0, 0, 16, 0, 0, &NoopRecorder, &NoopInjector);
+        let mut faulty = ChunkArena::new(n);
+        stage(&mut faulty);
+        faulty.seal(0, 0, 16, 0, 0, &NoopRecorder, &injector);
+        assert!(
+            faulty.faults_injected() > 0,
+            "seeded plan at 50% applied none"
+        );
+        assert!(faulty.damaged());
+        // The intended digests equal the fault-free delivered digests: the
+        // damage predicate compares against exactly what should have been.
+        for (intended, reference) in faulty.intended_digests.iter().zip(&clean.sub_digests) {
+            assert_eq!(intended.value(), reference.value());
+        }
+        // Delivered accounting follows the post-fault batch.
+        assert_eq!(
+            faulty.counts().iter().map(|&c| u64::from(c)).sum::<u64>(),
+            faulty.messages()
+        );
+        assert_ne!(faulty.messages(), clean.messages());
+    }
+
+    #[test]
+    fn duplicates_keep_the_sorted_src_columns_ascending() {
+        let n = 8;
+        let plan = FaultPlan::new(11).with_duplicate(400);
+        let injector = PlanInjector::new(plan);
+        let mut arena = ChunkArena::new(n);
+        for s in 0..n as u32 {
+            let outbox: Vec<(u32, u64)> = (0..3).map(|j| ((s + j + 1) % n as u32, 9)).collect();
+            stage_outbox(&mut arena, s, &outbox, 100);
+        }
+        arena.seal(0, 0, 16, 0, 0, &NoopRecorder, &injector);
+        assert!(arena.faults_injected() > 0);
+        assert!(
+            arena.messages() > 24,
+            "duplicates add to the delivered batch"
+        );
+        for d in 0..n {
+            let (src, _) = arena.slices_for(d);
+            assert!(src.windows(2).all(|w| w[0] <= w[1]), "dst {d}: {src:?}");
+        }
+    }
+
+    #[test]
+    fn settled_attempts_clear_the_damage_flag() {
+        // At a high enough attempt every message has had a clean roll; the
+        // delivered digests then equal the intended ones and the round
+        // reads undamaged — the convergence the retry loop relies on.
+        let n = 6;
+        let plan = FaultPlan::new(3)
+            .with_drop(200)
+            .with_duplicate(150)
+            .with_corrupt(150);
+        let injector = PlanInjector::new(plan);
+        let mut damaged_at_0 = false;
+        for attempt in 0..32u32 {
+            let mut arena = ChunkArena::new(n);
+            for s in 0..n as u32 {
+                stage_outbox(
+                    &mut arena,
+                    s,
+                    &[((s + 1) % n as u32, 4), ((s + 2) % n as u32, 5)],
+                    100,
+                );
+            }
+            arena.seal(1, attempt, 16, 0, 0, &NoopRecorder, &injector);
+            if attempt == 0 {
+                damaged_at_0 = arena.damaged();
+            }
+            if !arena.damaged() {
+                assert_eq!(arena.faults_injected(), 0, "clean attempt still faulted");
+                return;
+            }
+        }
+        panic!("no attempt settled within 32 tries (damaged at 0: {damaged_at_0})");
     }
 }

@@ -18,7 +18,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cc_runtime::trace::RingRecorder;
-use cc_runtime::{Engine, EngineConfig, EngineOutcome, NodeEnv, NodeProgram, NodeStatus};
+use cc_runtime::{
+    Engine, EngineConfig, EngineOutcome, FaultPlan, NodeEnv, NodeProgram, NodeStatus, PlanInjector,
+    SnapshotSink, SnapshotSource,
+};
 use cc_sim::ExecutionModel;
 
 struct CountingAllocator;
@@ -93,6 +96,17 @@ impl NodeProgram for Chatter {
 
     fn finish(self: Box<Self>) -> u64 {
         self.checksum
+    }
+
+    fn snapshot(&self, sink: &mut SnapshotSink<'_>) -> bool {
+        // Only the checksum mutates; left/right/until are fixed.
+        sink.push(self.checksum);
+        true
+    }
+
+    fn restore(&mut self, source: &mut SnapshotSource<'_>) -> bool {
+        self.checksum = source.next_word();
+        true
     }
 }
 
@@ -197,6 +211,59 @@ fn steady_state_rounds_with_ring_recorder_allocate_nothing() {
         "doubling the round count with a ring recorder attached changed the \
          allocation totals: recording is not allocation-free \
          (short = {short:?}, long = {long:?})"
+    );
+}
+
+/// Allocation (count, bytes) charged to one fault-injected engine run of
+/// `rounds` rounds: checkpointing, damage detection, and checkpoint-retry
+/// all run on the single-threaded path. The plan uses drops and
+/// corruptions but **no duplicates**, so the delivered batch never
+/// outgrows the staged one and every buffer — checkpoint words, the
+/// delivered staging area, the intended digests — reaches its high-water
+/// capacity in the first rounds.
+fn measure_faulted(n: usize, rounds: u64) -> (u64, u64) {
+    let programs = programs(n, rounds);
+    let plan = FaultPlan::new(0xa110c).with_drop(30).with_corrupt(20);
+    let engine = Engine::with_faults(
+        EngineConfig {
+            threads: 1,
+            max_rounds: 256,
+            ..EngineConfig::default()
+        },
+        PlanInjector::new(plan),
+    );
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed);
+    let bytes = ALLOCATED_BYTES.load(Ordering::Relaxed);
+    let outcome = engine
+        .run(ExecutionModel::congested_clique(n), programs)
+        .unwrap();
+    let delta = (
+        ALLOCATIONS.load(Ordering::Relaxed) - allocs,
+        ALLOCATED_BYTES.load(Ordering::Relaxed) - bytes,
+    );
+    assert!(outcome.all_halted);
+    assert!(outcome.health.faults_injected > 0);
+    assert!(outcome.health.retries > 0);
+    assert!(!outcome.health.degraded);
+    delta
+}
+
+#[test]
+fn steady_state_rounds_with_fault_recovery_allocate_nothing() {
+    let n = 96;
+    // Warm-up run, then the R-vs-2R comparison: the extra rounds (and the
+    // extra retries they bring) must be allocation-free — checkpoints,
+    // the delivered rebuild, and retry bookkeeping all reuse their
+    // start-up buffers.
+    let _ = measure_faulted(n, 10);
+    let short = measure_faulted(n, 40);
+    let long = measure_faulted(n, 80);
+    assert!(short.0 > 0, "start-up must allocate something");
+    assert_eq!(
+        short, long,
+        "doubling the round count under fault injection changed the \
+         allocation totals: checkpoint/retry rounds are not \
+         allocation-free (short = {short:?}, long = {long:?})"
     );
 }
 

@@ -33,11 +33,36 @@ impl TraceProbe {
     }
 }
 
+/// What a context does when a model constraint is violated.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ViolationPolicy {
+    /// Record the violation in the report and continue — the experiment
+    /// mode, so one overflow is visible without aborting a sweep.
+    #[default]
+    Record,
+    /// Return the first violation as an error from the offending
+    /// operation — the test mode (previously "strict").
+    FailFast,
+    /// Record the violation *and* ask the execution backend to treat the
+    /// round as damaged: an engine running with a fault injector restores
+    /// its checkpoint and retries the round under its `RetryPolicy`. A
+    /// backend without recovery machinery treats this like
+    /// [`ViolationPolicy::Record`].
+    Recover,
+}
+
+/// The most violations a context stores verbatim. Beyond the cap, further
+/// violations only bump [`ClusterContext::dropped_violations`] — a chaos
+/// run at a high fault rate must not grow the report without bound.
+pub const MAX_RECORDED_VIOLATIONS: usize = 64;
+
 /// Round/space/communication accounting context for one simulated execution.
 #[derive(Debug, Clone)]
 pub struct ClusterContext {
     model: ExecutionModel,
-    strict: bool,
+    policy: ViolationPolicy,
+    dropped_violations: u64,
     rounds: u64,
     rounds_by_label: BTreeMap<String, u64>,
     total_comm_words: u64,
@@ -56,7 +81,8 @@ impl ClusterContext {
     pub fn new(model: ExecutionModel) -> Self {
         ClusterContext {
             model,
-            strict: false,
+            policy: ViolationPolicy::Record,
+            dropped_violations: 0,
             rounds: 0,
             rounds_by_label: BTreeMap::new(),
             total_comm_words: 0,
@@ -69,9 +95,16 @@ impl ClusterContext {
 
     /// Creates a strict context: the first constraint violation is returned
     /// as an error by the offending operation. Tests use this mode.
+    /// Shorthand for [`ClusterContext::with_policy`] at
+    /// [`ViolationPolicy::FailFast`].
     pub fn strict(model: ExecutionModel) -> Self {
+        ClusterContext::with_policy(model, ViolationPolicy::FailFast)
+    }
+
+    /// Creates a context with an explicit [`ViolationPolicy`].
+    pub fn with_policy(model: ExecutionModel, policy: ViolationPolicy) -> Self {
         ClusterContext {
-            strict: true,
+            policy,
             ..ClusterContext::new(model)
         }
     }
@@ -81,9 +114,14 @@ impl ClusterContext {
         &self.model
     }
 
-    /// Whether the context is strict.
+    /// The context's violation policy.
+    pub fn policy(&self) -> ViolationPolicy {
+        self.policy
+    }
+
+    /// Whether the context fails fast on violations.
     pub fn is_strict(&self) -> bool {
-        self.strict
+        self.policy == ViolationPolicy::FailFast
     }
 
     /// Total rounds charged so far.
@@ -107,9 +145,17 @@ impl ClusterContext {
     }
 
     /// Violations recorded so far (always empty in strict mode unless the
-    /// caller ignored errors).
+    /// caller ignored errors). At most [`MAX_RECORDED_VIOLATIONS`] are
+    /// stored; the overflow is counted by
+    /// [`ClusterContext::dropped_violations`].
     pub fn violations(&self) -> &[Violation] {
         &self.violations
+    }
+
+    /// Violations observed beyond the [`MAX_RECORDED_VIOLATIONS`] cap —
+    /// counted, not stored.
+    pub fn dropped_violations(&self) -> u64 {
+        self.dropped_violations
     }
 
     /// Attaches a trace recorder: from now on every round, communication,
@@ -260,7 +306,7 @@ impl ClusterContext {
     pub fn fork(&self) -> ClusterContext {
         ClusterContext {
             model: self.model.clone(),
-            strict: self.strict,
+            policy: self.policy,
             // Children share the parent's recorder (and epoch), so a
             // forked phase keeps tracing onto the same time axis.
             probe: self.probe.clone(),
@@ -297,7 +343,14 @@ impl ClusterContext {
         for child in children {
             self.total_comm_words += child.total_comm_words;
             self.peak_local_words = self.peak_local_words.max(child.peak_local_words);
-            self.violations.extend(child.violations);
+            self.dropped_violations += child.dropped_violations;
+            for violation in child.violations {
+                if self.violations.len() < MAX_RECORDED_VIOLATIONS {
+                    self.violations.push(violation);
+                } else {
+                    self.dropped_violations += 1;
+                }
+            }
         }
     }
 
@@ -314,14 +367,18 @@ impl ClusterContext {
             local_space_limit: self.model.local_space_words,
             total_space_limit: self.model.total_space_words,
             violations: self.violations.clone(),
+            dropped_violations: self.dropped_violations,
         }
     }
 
     fn record(&mut self, violation: Violation) -> Result<(), SimError> {
-        if self.strict {
+        if self.policy == ViolationPolicy::FailFast {
             Err(SimError::ConstraintViolated(violation))
-        } else {
+        } else if self.violations.len() < MAX_RECORDED_VIOLATIONS {
             self.violations.push(violation);
+            Ok(())
+        } else {
+            self.dropped_violations += 1;
             Ok(())
         }
     }
@@ -456,6 +513,61 @@ mod tests {
         let mut child = traced.fork();
         child.charge_rounds("child", 1);
         assert_eq!(shared.events().len(), 4);
+    }
+
+    #[test]
+    fn record_policy_stores_and_continues() {
+        let mut ctx = ClusterContext::with_policy(small_model(), ViolationPolicy::Record);
+        assert_eq!(ctx.policy(), ViolationPolicy::Record);
+        assert!(!ctx.is_strict());
+        let limit = ctx.model().local_space_words;
+        ctx.observe_local_space("x", limit + 1).unwrap();
+        assert_eq!(ctx.violations().len(), 1);
+        assert_eq!(ctx.dropped_violations(), 0);
+    }
+
+    #[test]
+    fn fail_fast_policy_errors_immediately() {
+        let mut ctx = ClusterContext::with_policy(small_model(), ViolationPolicy::FailFast);
+        assert!(ctx.is_strict());
+        let limit = ctx.model().local_space_words;
+        let err = ctx.observe_local_space("x", limit + 1).unwrap_err();
+        assert!(matches!(err, SimError::ConstraintViolated(_)));
+        assert!(ctx.violations().is_empty());
+    }
+
+    #[test]
+    fn recover_policy_records_like_record() {
+        let mut ctx = ClusterContext::with_policy(small_model(), ViolationPolicy::Recover);
+        assert_eq!(ctx.policy(), ViolationPolicy::Recover);
+        assert!(!ctx.is_strict());
+        let limit = ctx.model().local_space_words;
+        ctx.observe_local_space("x", limit + 1).unwrap();
+        assert_eq!(ctx.violations().len(), 1);
+        // Recovery semantics live in the execution backend; the context
+        // itself records and continues.
+        assert!(ctx.fork().policy() == ViolationPolicy::Recover);
+    }
+
+    #[test]
+    fn violations_beyond_the_cap_are_counted_not_stored() {
+        let mut ctx = ClusterContext::new(small_model());
+        let limit = ctx.model().local_space_words;
+        for _ in 0..(MAX_RECORDED_VIOLATIONS + 10) {
+            ctx.observe_local_space("x", limit + 1).unwrap();
+        }
+        assert_eq!(ctx.violations().len(), MAX_RECORDED_VIOLATIONS);
+        assert_eq!(ctx.dropped_violations(), 10);
+        let report = ctx.report();
+        assert_eq!(report.dropped_violations, 10);
+        assert!(!report.within_limits());
+
+        // join_parallel respects the cap and carries the counters over.
+        let mut child = ctx.fork();
+        child.observe_local_space("c", limit + 1).unwrap();
+        ctx.join_parallel(vec![child]);
+        assert_eq!(ctx.violations().len(), MAX_RECORDED_VIOLATIONS);
+        assert_eq!(ctx.dropped_violations(), 11);
     }
 
     #[test]

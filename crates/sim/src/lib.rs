@@ -48,7 +48,7 @@ pub mod model;
 pub mod primitives;
 pub mod report;
 
-pub use cluster::ClusterContext;
+pub use cluster::{ClusterContext, ViolationPolicy, MAX_RECORDED_VIOLATIONS};
 pub use error::SimError;
 pub use model::ExecutionModel;
 pub use report::ExecutionReport;

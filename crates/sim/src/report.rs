@@ -26,14 +26,19 @@ pub struct ExecutionReport {
     pub local_space_limit: usize,
     /// The model's total space limit.
     pub total_space_limit: usize,
-    /// Constraint violations observed (lenient mode only).
+    /// Constraint violations observed (lenient mode only), capped at
+    /// [`crate::cluster::MAX_RECORDED_VIOLATIONS`] entries.
     pub violations: Vec<Violation>,
+    /// Violations observed beyond the cap — counted, not stored, so a
+    /// chaos run at a high fault rate cannot grow the report unboundedly.
+    pub dropped_violations: u64,
 }
 
 impl ExecutionReport {
-    /// Whether the execution stayed within every model constraint.
+    /// Whether the execution stayed within every model constraint —
+    /// including violations that were dropped past the storage cap.
     pub fn within_limits(&self) -> bool {
-        self.violations.is_empty()
+        self.violations.is_empty() && self.dropped_violations == 0
     }
 
     /// Peak local space as a fraction of the limit.
@@ -83,6 +88,13 @@ impl std::fmt::Display for ExecutionReport {
         for v in &self.violations {
             writeln!(f, "  VIOLATION: {v}")?;
         }
+        if self.dropped_violations > 0 {
+            writeln!(
+                f,
+                "  ... and {} more violation(s) dropped past the storage cap",
+                self.dropped_violations
+            )?;
+        }
         Ok(())
     }
 }
@@ -108,6 +120,7 @@ mod tests {
             local_space_limit: 800,
             total_space_limit: 80_000,
             violations: vec![],
+            dropped_violations: 0,
         }
     }
 
@@ -136,6 +149,15 @@ mod tests {
         let s = r.to_string();
         assert!(s.contains("partition/level0"));
         assert!(s.contains("VIOLATION"));
+    }
+
+    #[test]
+    fn dropped_violations_render_and_break_limits() {
+        let mut r = sample();
+        assert!(r.within_limits());
+        r.dropped_violations = 3;
+        assert!(!r.within_limits());
+        assert!(r.to_string().contains("3 more violation(s) dropped"));
     }
 
     #[test]

@@ -66,20 +66,34 @@ pub enum Counter {
     ImbalancePermille,
     /// Counting-sort count passes skipped because the per-destination
     /// shard was already filled at send time (1 per non-empty seal).
+    CountSkips,
+    /// Message faults injected by a fault plan this round on this lane
+    /// (drops + duplicates + corruptions, on the committed attempt).
+    FaultsInjected,
+    /// Damaged-round retries the driver executed this round.
+    RoundRetries,
+    /// `u64` words of node-program state checkpointed this round on this
+    /// lane.
+    CheckpointWords,
+    /// Nodes observed crash-stopped as of this round (cumulative).
     // New variants append here: the packed-event code is the declaration
     // index, and old captures must keep decoding.
-    CountSkips,
+    CrashedNodes,
 }
 
 impl Counter {
     /// All counters, in display order.
-    pub const ALL: [Counter; 6] = [
+    pub const ALL: [Counter; 10] = [
         Counter::Messages,
         Counter::Words,
         Counter::Rescans,
         Counter::Rounds,
         Counter::ImbalancePermille,
         Counter::CountSkips,
+        Counter::FaultsInjected,
+        Counter::RoundRetries,
+        Counter::CheckpointWords,
+        Counter::CrashedNodes,
     ];
 
     /// Stable display name (also the Perfetto counter-track name).
@@ -92,6 +106,10 @@ impl Counter {
             Counter::Rounds => "rounds-charged",
             Counter::ImbalancePermille => "chunk-imbalance-permille",
             Counter::CountSkips => "count-pass-skips",
+            Counter::FaultsInjected => "faults-injected",
+            Counter::RoundRetries => "round-retries",
+            Counter::CheckpointWords => "checkpoint-words",
+            Counter::CrashedNodes => "crashed-nodes",
         }
     }
 

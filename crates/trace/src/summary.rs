@@ -40,6 +40,15 @@ pub struct RoundTrace {
     /// Counting-sort count passes skipped this round (one per non-empty
     /// chunk seal — the send-time shard made them free).
     pub count_skips: u64,
+    /// Message faults injected this round (committed attempt only).
+    pub faults: u64,
+    /// Damaged-round retries the driver executed this round.
+    pub retries: u64,
+    /// `u64` words of node-program state checkpointed this round.
+    pub checkpoint_words: u64,
+    /// Nodes crash-stopped as of this round (cumulative; one driver
+    /// emission per round, kept as a value rather than summed).
+    pub crashed_nodes: u64,
 }
 
 impl RoundTrace {
@@ -64,6 +73,11 @@ impl RoundTrace {
             // One driver emission per round; keep the value, not a sum.
             Counter::ImbalancePermille => self.imbalance_permille = value,
             Counter::CountSkips => self.count_skips += value,
+            Counter::FaultsInjected => self.faults += value,
+            Counter::RoundRetries => self.retries += value,
+            Counter::CheckpointWords => self.checkpoint_words += value,
+            // Cumulative driver emission; keep the latest value.
+            Counter::CrashedNodes => self.crashed_nodes = value,
         }
     }
 }
@@ -162,6 +176,26 @@ impl TraceSummary {
             self.events,
             self.dropped,
         ));
+        let (faults, retries, checkpoint_words) =
+            self.rounds.iter().fold((0u64, 0u64, 0u64), |acc, row| {
+                (
+                    acc.0 + row.faults,
+                    acc.1 + row.retries,
+                    acc.2 + row.checkpoint_words,
+                )
+            });
+        let crashed = self
+            .rounds
+            .iter()
+            .map(|r| r.crashed_nodes)
+            .max()
+            .unwrap_or(0);
+        if faults + retries + checkpoint_words + crashed > 0 {
+            out.push_str(&format!(
+                "  faults: {faults} injected, {retries} round retries, \
+                 {checkpoint_words} checkpoint words, {crashed} crashed node(s)\n",
+            ));
+        }
         for (kind, hist) in &self.histograms {
             if !hist.is_empty() {
                 out.push_str(&format!("  hist {:<32} {}\n", kind.name(), hist.render()));
@@ -248,6 +282,32 @@ mod tests {
             !text.contains("words-moved/chunk-round"),
             "empty hists stay out:\n{text}"
         );
+    }
+
+    #[test]
+    fn fault_counters_fold_and_render() {
+        let rec = RingRecorder::with_capacity(64);
+        rec.count(DRIVER_LANE, Counter::FaultsInjected, 0, 10, 3);
+        rec.count(DRIVER_LANE, Counter::RoundRetries, 0, 11, 2);
+        rec.count(0, Counter::CheckpointWords, 0, 12, 40);
+        rec.count(1, Counter::CheckpointWords, 0, 12, 24);
+        rec.count(DRIVER_LANE, Counter::CrashedNodes, 0, 13, 1);
+        rec.count(DRIVER_LANE, Counter::CrashedNodes, 1, 14, 2);
+        let summary = TraceSummary::from_recorder(&rec);
+        assert_eq!(summary.rounds[0].faults, 3);
+        assert_eq!(summary.rounds[0].retries, 2);
+        assert_eq!(summary.rounds[0].checkpoint_words, 64);
+        assert_eq!(summary.rounds[0].crashed_nodes, 1);
+        assert_eq!(summary.rounds[1].crashed_nodes, 2);
+        let text = summary.render();
+        assert!(text.contains("faults: 3 injected, 2 round retries"));
+        assert!(text.contains("2 crashed node(s)"));
+    }
+
+    #[test]
+    fn fault_free_summaries_render_no_fault_line() {
+        let summary = TraceSummary::from_recorder(&recorded());
+        assert!(!summary.render().contains("injected"));
     }
 
     #[test]

@@ -61,6 +61,28 @@ macro_rules! chacha_rng {
         }
 
         impl $name {
+            /// The stream position, counted in 32-bit output words consumed
+            /// since seeding. Restoring it with [`Self::set_word_pos`]
+            /// resumes the exact output sequence, which lets callers
+            /// checkpoint an RNG with one `u64` instead of its full state.
+            pub fn get_word_pos(&self) -> u64 {
+                // A fresh RNG has counter = 0, index = 16 (nothing consumed);
+                // after each refill the counter is one block ahead of the
+                // buffer being consumed.
+                self.counter
+                    .wrapping_mul(16)
+                    .wrapping_add(self.index as u64)
+                    .wrapping_sub(16)
+            }
+
+            /// Rewinds or fast-forwards the stream to a position previously
+            /// returned by [`Self::get_word_pos`].
+            pub fn set_word_pos(&mut self, pos: u64) {
+                self.counter = pos / 16;
+                self.refill();
+                self.index = (pos % 16) as usize;
+            }
+
             fn refill(&mut self) {
                 let mut input = [0u32; 16];
                 input[..4].copy_from_slice(&CHACHA_CONSTANTS);
@@ -159,6 +181,25 @@ mod tests {
         let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
         assert_eq!(xs, ys);
         assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn word_pos_round_trips_at_any_offset() {
+        // Cover a fresh RNG (pos 0), mid-buffer positions, and positions
+        // several blocks in — including odd offsets reached via next_u32.
+        for consumed in [0usize, 1, 7, 15, 16, 17, 40, 129] {
+            let mut rng = ChaCha8Rng::seed_from_u64(42);
+            for _ in 0..consumed {
+                rng.next_u32();
+            }
+            let pos = rng.get_word_pos();
+            assert_eq!(pos, consumed as u64);
+            let expected: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+            let mut restored = ChaCha8Rng::seed_from_u64(42);
+            restored.set_word_pos(pos);
+            let replay: Vec<u64> = (0..8).map(|_| restored.next_u64()).collect();
+            assert_eq!(expected, replay, "diverged after restoring pos {pos}");
+        }
     }
 
     #[test]
