@@ -150,6 +150,19 @@ fn main() -> ExitCode {
              ns/msg = {overhead:+.1}% overhead"
         );
     }
+    // service_rps only exists in records written after the batched
+    // `ColoringService` landed: requests/sec of the tracked E10 sample
+    // (uniform small-instance mix, 8 slots, threads = 2) next to its
+    // reusable-handle solo-loop baseline.
+    if let Some(rps) = field(last_json, "service_rps") {
+        let solo = field(last_json, "solo_rps").map_or(String::new(), |s| {
+            format!(
+                " (solo loop {s:.0}, {:.2}x batched)",
+                rps / s.max(f64::MIN_POSITIVE)
+            )
+        });
+        println!("  {last_name} service throughput: {rps:.0} req/s{solo}");
+    }
     if let Some(pct) = fail_above {
         // Gate the newest record against the second-newest: the committed
         // per-PR baseline the fresh CI measurement is expected to hold.
@@ -168,6 +181,28 @@ fn main() -> ExitCode {
             "  gate: {last_name} vs {base_name} = {change:+.1}% ns/msg \
              (limit +{pct:.0}%) — ok"
         );
+        // Throughput leg of the same gate: service requests/sec must not
+        // drop more than `pct` percent below the committed baseline.
+        // Records from before the service exist skip the leg silently.
+        if let (Some(base_rps), Some(current_rps)) = (
+            field(base_json, "service_rps"),
+            field(last_json, "service_rps"),
+        ) {
+            let drop = (base_rps - current_rps) / base_rps.max(f64::MIN_POSITIVE) * 100.0;
+            if drop > pct {
+                eprintln!(
+                    "bench_delta: FAIL — {last_name} serves {drop:.1}% fewer req/s than \
+                     {base_name} ({base_rps:.0} -> {current_rps:.0}), above the \
+                     {pct:.0}% gate"
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "  gate: {last_name} vs {base_name} = {:+.1}% req/s \
+                 (limit -{pct:.0}%) — ok",
+                -drop
+            );
+        }
     }
     ExitCode::SUCCESS
 }

@@ -1,8 +1,10 @@
-//! Runs every experiment (E1–E9 and E11) in sequence. Pass --quick for a fast run;
+//! Runs every experiment (E1–E11) in sequence. Pass --quick for a fast run;
 //! pass --dump to also write the tracked message-plane benchmark record to
-//! `BENCH_CURRENT.json` (E9 ns/msg, engine rounds, barrier wait, host CPUs)
-//! so CI can archive it and diff it against the committed trajectory
-//! (`BENCH_BASELINE_PR2.json`, `BENCH_PR3.json`).
+//! `BENCH_CURRENT.json` (E9 ns/msg, engine rounds, barrier wait, host CPUs,
+//! E10 service requests/sec) and the service-throughput record to
+//! `e10.service.json`, so CI can archive them and diff the perf trajectory
+//! against the committed history (`BENCH_BASELINE_PR2.json`,
+//! `BENCH_PR3.json`, `BENCH_PR8.json`, `BENCH_PR10.json`).
 
 use std::path::Path;
 
@@ -19,8 +21,10 @@ fn main() {
     cc_bench::experiments::e7_comparison::run(scale);
     cc_bench::experiments::e8_ablation::run(scale);
     cc_bench::experiments::e9_engine::run(scale);
+    cc_bench::experiments::e10_service::run(scale);
     cc_bench::experiments::e11_chaos::run(scale);
     if dump {
         cc_bench::experiments::e9_engine::write_bench_record(Path::new("BENCH_CURRENT.json"));
+        cc_bench::experiments::e10_service::write_service_record(Path::new("e10.service.json"));
     }
 }

@@ -21,23 +21,37 @@ use super::{clique_model, graph_stats, practical_config};
 pub fn run(scale: Scale) {
     let n = scale.pick(800, 2500);
     let p = 0.3;
-    for (config_label, config) in [
-        ("paper exponents (β=0.1)", practical_config()),
+    let gnp = InstanceSpec::new(
+        format!("gnp(n={n},p={p})"),
+        GraphFamily::Gnp { p },
+        n,
+        PaletteKind::DeltaPlusOne,
+        31,
+    );
+    // The power-law run probes the bounds where they are loosest: Δ comes
+    // from a few hubs, so the depth-indexed closed forms (all functions of
+    // the global Δ) should dominate the measured maxima by a wide margin.
+    let power_law = InstanceSpec::new(
+        format!("powerlaw(n={n})"),
+        GraphFamily::PowerLaw { edges_per_node: 16 },
+        n,
+        PaletteKind::DegPlusOneList {
+            universe: 4 * n as u64,
+        },
+        31,
+    );
+    for (config_label, config, spec) in [
+        ("paper exponents (β=0.1)", practical_config(), &gnp),
         (
             "scaled-down exponents (β=0.4)",
             ColorReduceConfig {
                 bin_exponent: 0.4,
                 ..practical_config()
             },
+            &gnp,
         ),
+        ("paper exponents, power-law", practical_config(), &power_law),
     ] {
-        let spec = InstanceSpec::new(
-            format!("gnp(n={n},p={p})"),
-            GraphFamily::Gnp { p },
-            n,
-            PaletteKind::DeltaPlusOne,
-            31,
-        );
         let instance = spec.build();
         let stats = graph_stats(&instance);
         let delta = stats.2 as u64;
@@ -98,7 +112,9 @@ pub fn run(scale: Scale) {
         write_json(
             &format!(
                 "e4_recursion_{}",
-                if config_label.starts_with("paper") {
+                if config_label.contains("power-law") {
+                    "powerlaw"
+                } else if config_label.starts_with("paper") {
                     "paper"
                 } else {
                     "scaled"

@@ -490,6 +490,13 @@ pub struct PlaneBenchRecord {
     /// `ns_per_msg` is the price of *arming* the fault plane (absent from
     /// records written before the fault plane existed).
     pub fault_ns_per_msg: f64,
+    /// Requests/sec of the batched `ColoringService` on the tracked E10
+    /// sample (uniform small-instance mix, 8 slots, threads = 2; absent
+    /// from records written before the service existed).
+    pub service_rps: f64,
+    /// Requests/sec of the reusable-handle solo loop on the same sample
+    /// and thread count — the baseline `service_rps` is gated against.
+    pub solo_rps: f64,
 }
 
 impl PlaneBenchRecord {
@@ -505,7 +512,8 @@ impl PlaneBenchRecord {
              \"ns_per_msg\": {:.2},\n  \"route_ns\": {},\n  \"step_ns\": {},\n  \
              \"check_ns\": {},\n  \"barrier_wait_ns\": {},\n  \
              \"hot_ns_per_msg\": {:.2},\n  \"plaw_ns_per_msg\": {:.2},\n  \
-             \"fault_ns_per_msg\": {:.2}\n}}\n",
+             \"fault_ns_per_msg\": {:.2},\n  \"service_rps\": {:.1},\n  \
+             \"solo_rps\": {:.1}\n}}\n",
             self.n,
             self.host_cpus,
             self.engine_rounds,
@@ -519,6 +527,8 @@ impl PlaneBenchRecord {
             self.hot_ns_per_msg,
             self.plaw_ns_per_msg,
             self.fault_ns_per_msg,
+            self.service_rps,
+            self.solo_rps,
         )
     }
 }
@@ -633,6 +643,10 @@ pub fn bench_message_plane() -> PlaneBenchRecord {
             })
             .collect()
     });
+    // Service-throughput companion (tracked E10 sample): batched vs
+    // reusable-handle solo-loop requests/sec, so throughput regressions
+    // gate alongside ns/msg.
+    let (solo_rps, service_rps) = super::e10_service::service_throughput_sample();
     PlaneBenchRecord {
         n,
         host_cpus: std::thread::available_parallelism().map_or(1, |p| p.get()),
@@ -649,6 +663,8 @@ pub fn bench_message_plane() -> PlaneBenchRecord {
         hot_ns_per_msg,
         plaw_ns_per_msg,
         fault_ns_per_msg: fault_best,
+        service_rps,
+        solo_rps,
     }
 }
 
@@ -658,12 +674,14 @@ pub fn write_bench_record(path: &Path) {
     match std::fs::write(path, record.to_json()) {
         Ok(()) => println!(
             "wrote message-plane bench record to {} ({:.1} ns/msg over {} messages; \
-             hot {:.1}, plaw {:.1})",
+             hot {:.1}, plaw {:.1}; service {:.0} req/s vs solo {:.0})",
             path.display(),
             record.ns_per_msg,
             record.total_messages,
             record.hot_ns_per_msg,
-            record.plaw_ns_per_msg
+            record.plaw_ns_per_msg,
+            record.service_rps,
+            record.solo_rps
         ),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }

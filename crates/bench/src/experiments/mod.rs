@@ -1,8 +1,7 @@
-//! The experiments (E1–E9 and E11). Each submodule prints the table
-//! recorded in `EXPERIMENTS.md` and dumps a JSON copy under
-//! `target/experiments/`. (E10, the service-mode load experiment, is a
-//! ROADMAP item and not implemented yet.)
+//! The experiments (E1–E11). Each submodule prints the table recorded in
+//! `EXPERIMENTS.md` and dumps a JSON copy under `target/experiments/`.
 
+pub mod e10_service;
 pub mod e11_chaos;
 pub mod e1_rounds;
 pub mod e2_space;

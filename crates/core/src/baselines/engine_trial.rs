@@ -17,8 +17,8 @@ use cc_graph::{Color, NodeId};
 use cc_runtime::programs::trial::TrialColoringProgram;
 use cc_runtime::trace::{Recorder, RingRecorder, TraceSummary};
 use cc_runtime::{
-    Engine, EngineConfig, EngineHealth, FaultInjector, FaultPlan, MessageLedger, NodeProgram,
-    PhaseTimings, PlanInjector,
+    Engine, EngineConfig, EngineHealth, EngineOutcome, FaultInjector, FaultPlan, MessageLedger,
+    NodeProgram, PhaseTimings, PlanInjector, ServiceRequest,
 };
 use cc_sim::ExecutionModel;
 
@@ -141,16 +141,32 @@ impl EngineTrialColoring {
         )
     }
 
-    fn run_on<R: Recorder, F: FaultInjector>(
+    /// Packages the baseline as a [`ServiceRequest`] for batched execution
+    /// on a [`cc_runtime::ColoringService`]: same programs, seed, and
+    /// engine configuration as [`EngineTrialColoring::run`], so the
+    /// service's outcome — finished through
+    /// [`EngineTrialColoring::assemble`] — is bit-identical to a solo run.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the instance is invalid.
+    pub fn service_request(
         &self,
         instance: &ListColoringInstance,
         model: ExecutionModel,
-        engine: Engine<R, F>,
-    ) -> Result<EngineTrialOutcome, CoreError> {
+    ) -> Result<ServiceRequest<Option<u64>>, CoreError> {
         instance.validate()?;
+        Ok(ServiceRequest::new(model, self.programs(instance)).with_config(self.engine_config()))
+    }
+
+    /// Builds one [`TrialColoringProgram`] per node (the instance must
+    /// already be validated).
+    fn programs(
+        &self,
+        instance: &ListColoringInstance,
+    ) -> Vec<Box<dyn NodeProgram<Output = Option<u64>>>> {
         let graph = instance.graph();
-        let n = graph.node_count();
-        let programs: Vec<Box<dyn NodeProgram<Output = Option<u64>>>> = graph
+        graph
             .nodes()
             .map(|v| {
                 let neighbors: Vec<u32> = graph.neighbor_slice(v).iter().map(|u| u.0).collect();
@@ -159,8 +175,35 @@ impl EngineTrialColoring {
                     v.0, neighbors, palette, self.seed,
                 )) as _
             })
-            .collect();
-        let run = engine.run(model, programs)?;
+            .collect()
+    }
+
+    fn run_on<R: Recorder, F: FaultInjector>(
+        &self,
+        instance: &ListColoringInstance,
+        model: ExecutionModel,
+        engine: Engine<R, F>,
+    ) -> Result<EngineTrialOutcome, CoreError> {
+        instance.validate()?;
+        let run = engine.run(model, self.programs(instance))?;
+        self.assemble(instance, run)
+    }
+
+    /// Turns a raw engine outcome (solo or batched) for this baseline's
+    /// programs into the baseline-shaped [`EngineTrialOutcome`]: extracts
+    /// the coloring, repairs conflicts on degraded runs, and completes
+    /// round-cap leftovers greedily.
+    ///
+    /// # Errors
+    ///
+    /// Fails if greedy completion of leftover nodes fails.
+    pub fn assemble(
+        &self,
+        instance: &ListColoringInstance,
+        run: EngineOutcome<Option<u64>>,
+    ) -> Result<EngineTrialOutcome, CoreError> {
+        let graph = instance.graph();
+        let n = graph.node_count();
         let mut coloring = Coloring::empty(n);
         let mut uncolored = Vec::new();
         for (i, output) in run.outputs.iter().enumerate() {
@@ -336,6 +379,34 @@ mod tests {
         assert!(out.recolored_nodes > 0);
         // The repair pass leaves a proper list coloring regardless.
         out.outcome.coloring.verify(&instance).unwrap();
+    }
+
+    #[test]
+    fn batched_service_runs_match_solo_runs() {
+        use cc_runtime::{ColoringService, ServiceConfig};
+        let algo = EngineTrialColoring::default();
+        let instances: Vec<_> = (0..4)
+            .map(|seed| {
+                let graph = generators::gnp(40 + 10 * seed as usize, 0.1, seed).unwrap();
+                ListColoringInstance::delta_plus_one(&graph).unwrap()
+            })
+            .collect();
+        let mut service = ColoringService::new(ServiceConfig::with_slots(2));
+        for instance in &instances {
+            let model = ExecutionModel::congested_clique(instance.graph().node_count());
+            service.submit(algo.service_request(instance, model).unwrap());
+        }
+        let mut outcomes = service.run_until_idle();
+        outcomes.sort_by_key(|o| o.id);
+        for (instance, outcome) in instances.iter().zip(outcomes) {
+            let model = ExecutionModel::congested_clique(instance.graph().node_count());
+            let solo = algo.run(instance, model).unwrap();
+            let batched = algo.assemble(instance, outcome.result.unwrap()).unwrap();
+            assert_eq!(batched.outcome.coloring, solo.outcome.coloring);
+            assert_eq!(batched.ledger, solo.ledger);
+            assert_eq!(batched.outcome.report, solo.outcome.report);
+            assert_eq!(batched.engine_rounds, solo.engine_rounds);
+        }
     }
 
     #[test]

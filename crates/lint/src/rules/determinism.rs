@@ -19,12 +19,15 @@ use crate::rules::{push, FileContext};
 /// message plane, the engine driver, the trace plane's hot path —
 /// recording must never introduce a result-visible determinism source —
 /// and the fault plane: injected faults must be a pure function of model
-/// coordinates, never of wall clock or thread timing).
-const HOT_MODULES: [&str; 8] = [
+/// coordinates, never of wall clock or thread timing — and the batching
+/// service, whose scheduling decisions must depend only on submission
+/// order and round state).
+const HOT_MODULES: [&str; 9] = [
     "crates/runtime/src/router.rs",
     "crates/runtime/src/columns.rs",
     "crates/runtime/src/engine.rs",
     "crates/runtime/src/pool.rs",
+    "crates/runtime/src/service.rs",
     "crates/trace/src/ring.rs",
     "crates/trace/src/recorder.rs",
     "crates/fault/src/plan.rs",

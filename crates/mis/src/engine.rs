@@ -12,8 +12,8 @@ use cc_graph::csr::CsrGraph;
 use cc_runtime::programs::luby::LubyMisProgram;
 use cc_runtime::trace::{Recorder, RingRecorder, TraceSummary};
 use cc_runtime::{
-    word_bits_limit, Engine, EngineConfig, EngineHealth, FaultInjector, FaultPlan, MessageLedger,
-    NodeProgram, PhaseTimings, PlanInjector,
+    word_bits_limit, Engine, EngineConfig, EngineHealth, EngineOutcome, FaultInjector, FaultPlan,
+    MessageLedger, NodeProgram, PhaseTimings, PlanInjector, ServiceRequest,
 };
 use cc_sim::{ExecutionModel, ExecutionReport, SimError};
 
@@ -132,22 +132,45 @@ impl EngineLubyMis {
         )
     }
 
+    /// Packages the algorithm as a [`ServiceRequest`] for batched
+    /// execution on a [`cc_runtime::ColoringService`]: same programs,
+    /// seed, and engine configuration as [`EngineLubyMis::run`], so the
+    /// service's outcome — finished through [`EngineLubyMis::assemble`] —
+    /// is bit-identical to a solo run.
+    pub fn service_request(
+        &self,
+        graph: &CsrGraph,
+        model: ExecutionModel,
+    ) -> ServiceRequest<Option<bool>> {
+        ServiceRequest::new(model, self.programs(graph)).with_config(self.engine_config())
+    }
+
+    /// Builds one [`LubyMisProgram`] per node.
+    fn programs(&self, graph: &CsrGraph) -> Vec<Box<dyn NodeProgram<Output = Option<bool>>>> {
+        let bits = word_bits_limit(graph.node_count());
+        graph
+            .nodes()
+            .map(|v| {
+                let neighbors: Vec<u32> = graph.neighbor_slice(v).iter().map(|u| u.0).collect();
+                Box::new(LubyMisProgram::new(v.0, neighbors, bits, self.seed)) as _
+            })
+            .collect()
+    }
+
     fn run_on<R: Recorder, F: FaultInjector>(
         &self,
         graph: &CsrGraph,
         model: ExecutionModel,
         engine: Engine<R, F>,
     ) -> Result<EngineMisOutcome, SimError> {
-        let n = graph.node_count();
-        let bits = word_bits_limit(n);
-        let programs: Vec<Box<dyn NodeProgram<Output = Option<bool>>>> = graph
-            .nodes()
-            .map(|v| {
-                let neighbors: Vec<u32> = graph.neighbor_slice(v).iter().map(|u| u.0).collect();
-                Box::new(LubyMisProgram::new(v.0, neighbors, bits, self.seed)) as _
-            })
-            .collect();
-        let run = engine.run(model, programs)?;
+        let run = engine.run(model, self.programs(graph))?;
+        Ok(self.assemble(graph, run))
+    }
+
+    /// Turns a raw engine outcome (solo or batched) for this algorithm's
+    /// programs into the [`EngineMisOutcome`]: decides undecided nodes,
+    /// repairs degraded runs, and restores maximality greedily.
+    pub fn assemble(&self, graph: &CsrGraph, run: EngineOutcome<Option<bool>>) -> EngineMisOutcome {
         // If the round cap cut the protocol short, some nodes are still
         // undecided (`None`): complete deterministically by greedily joining
         // undecided nodes in id order, mirroring the centralized baselines'
@@ -178,7 +201,7 @@ impl EngineLubyMis {
                 in_set[i] = true;
             }
         }
-        Ok(EngineMisOutcome {
+        EngineMisOutcome {
             result: MisResult {
                 in_set,
                 phases: run.rounds.div_ceil(ENGINE_ROUNDS_PER_PHASE),
@@ -188,7 +211,7 @@ impl EngineLubyMis {
             timings: run.timings,
             trace: run.trace,
             health: run.health,
-        })
+        }
     }
 }
 
@@ -295,6 +318,30 @@ mod tests {
         .run(&g, ExecutionModel::congested_clique(80))
         .unwrap();
         verify_mis(&g, &out.result.in_set).unwrap();
+    }
+
+    #[test]
+    fn batched_service_runs_match_solo_runs() {
+        use cc_runtime::{ColoringService, ServiceConfig};
+        let algo = EngineLubyMis::default();
+        let graphs: Vec<_> = (0..4)
+            .map(|seed| generators::gnp(40 + 15 * seed as usize, 0.09, seed).unwrap())
+            .collect();
+        let mut service = ColoringService::new(ServiceConfig::with_slots(2));
+        for g in &graphs {
+            let model = ExecutionModel::congested_clique(g.node_count());
+            service.submit(algo.service_request(g, model));
+        }
+        let mut outcomes = service.run_until_idle();
+        outcomes.sort_by_key(|o| o.id);
+        for (g, outcome) in graphs.iter().zip(outcomes) {
+            let model = ExecutionModel::congested_clique(g.node_count());
+            let solo = algo.run(g, model).unwrap();
+            let batched = algo.assemble(g, outcome.result.unwrap());
+            assert_eq!(batched.result, solo.result);
+            assert_eq!(batched.ledger, solo.ledger);
+            assert_eq!(batched.report, solo.report);
+        }
     }
 
     #[test]

@@ -230,17 +230,12 @@ impl<O: Send + 'static, R: Recorder, F: FaultInjector> Plane<O, R, F> {
         programs: Vec<Box<dyn NodeProgram<Output = O>>>,
         bits_limit: u32,
         bandwidth_limit: usize,
-        threads: usize,
+        chunks: usize,
+        banks: [Vec<RwLock<ChunkArena>>; 2],
         recorder: Arc<R>,
         injector: Arc<F>,
     ) -> Self {
         let n = programs.len();
-        let chunks = exec_chunk_count(n, threads);
-        let bank = || {
-            (0..chunks)
-                .map(|k| RwLock::new(ChunkArena::for_group(n, chunks, k)))
-                .collect()
-        };
         let mut slots: Vec<Mutex<ChunkSlots<O>>> = Vec::with_capacity(chunks);
         let mut programs = programs.into_iter();
         for k in 0..chunks {
@@ -264,7 +259,7 @@ impl<O: Send + 'static, R: Recorder, F: FaultInjector> Plane<O, R, F> {
             crashed: AtomicU64::new(0),
             checkpoint_words: AtomicU64::new(0),
             injector,
-            banks: [bank(), bank()],
+            banks,
             slots,
             route_ns: AtomicU64::new(0),
             step_ns: AtomicU64::new(0),
@@ -455,19 +450,19 @@ impl<O: Send + 'static, R: Recorder, F: FaultInjector> Plane<O, R, F> {
         }
     }
     // cc-lint: end_region
+}
 
-    /// Consumes the plane and yields the finished per-node outputs, in node
-    /// order.
-    fn into_outputs(self) -> Vec<O> {
-        let mut outputs = Vec::with_capacity(self.n);
-        for slot in self.slots {
-            let chunk = slot.into_inner().expect("chunk slots poisoned");
-            for program in chunk.programs {
-                outputs.push(program.expect("program already finished").finish());
-            }
+/// Consumes the per-chunk program slots and yields the finished per-node
+/// outputs, in node order.
+fn finish_outputs<O>(slots: Vec<Mutex<ChunkSlots<O>>>, n: usize) -> Vec<O> {
+    let mut outputs = Vec::with_capacity(n);
+    for slot in slots {
+        let chunk = slot.into_inner().expect("chunk slots poisoned");
+        for program in chunk.programs {
+            outputs.push(program.expect("program already finished").finish());
         }
-        outputs
     }
+    outputs
 }
 
 /// The round-synchronous message-passing engine.
@@ -579,6 +574,10 @@ impl<R: Recorder, F: FaultInjector> Engine<R, F> {
     /// `programs.len()` is the clique size 𝔫; it should match
     /// `model.machines` for the accounting to be meaningful.
     ///
+    /// Each call pays the full setup (worker pool, arena banks); callers
+    /// executing many runs back to back should hold an [`Engine::session`]
+    /// instead and amortize it.
+    ///
     /// # Errors
     ///
     /// In strict mode, returns [`SimError::ConstraintViolated`] on the first
@@ -592,11 +591,87 @@ impl<R: Recorder, F: FaultInjector> Engine<R, F> {
         model: ExecutionModel,
         programs: Vec<Box<dyn NodeProgram<Output = O>>>,
     ) -> Result<EngineOutcome<O>, SimError> {
+        self.session().run(model, programs)
+    }
+
+    /// A reusable execution session over this engine's configuration,
+    /// recorder, and injector: the worker pool is spawned once, and the
+    /// arena banks are recycled across same-size runs. See
+    /// [`EngineSession`].
+    pub fn session(&self) -> EngineSession<R, F> {
+        EngineSession::new(self.clone())
+    }
+}
+
+/// Cross-run plane state an [`EngineSession`] keeps warm: the two chunk
+/// arena banks and the driver's merge scratch, recyclable whenever the
+/// next run has the same clique size and execution grouping.
+struct PlaneCache {
+    n: usize,
+    chunks: usize,
+    banks: [Vec<RwLock<ChunkArena>>; 2],
+    scratch: MergeScratch,
+}
+
+/// A reusable engine handle for back-to-back runs: one worker pool plus
+/// recycled arena banks.
+///
+/// [`Engine::run`] pays the whole setup on every call — spawning the
+/// worker pool and allocating the two chunk-arena banks. A session hoists
+/// that one-time construction behind a handle: the pool lives for the
+/// session's lifetime, and the banks (plus the driver's merge scratch) are
+/// recycled whenever consecutive runs share a clique size. Results,
+/// reports, and ledgers are byte-identical to fresh [`Engine::run`] calls —
+/// a recycled bank is fully reset before its first round, so nothing leaks
+/// between runs (the `session_reuse` tests pin the equality, and the
+/// counting-allocator harness pins that reused runs skip the construction
+/// allocations).
+pub struct EngineSession<R: Recorder = NoopRecorder, F: FaultInjector = NoopInjector> {
+    engine: Engine<R, F>,
+    executor: ChunkedExecutor,
+    cache: Option<PlaneCache>,
+}
+
+impl<R: Recorder, F: FaultInjector> EngineSession<R, F> {
+    /// A session running under `engine`'s configuration. The worker pool
+    /// is spawned here, once, and reused by every [`EngineSession::run`].
+    pub fn new(engine: Engine<R, F>) -> Self {
+        let executor = ChunkedExecutor::new(engine.config.threads);
+        EngineSession {
+            engine,
+            executor,
+            cache: None,
+        }
+    }
+
+    /// The engine whose configuration this session runs under.
+    pub fn engine(&self) -> &Engine<R, F> {
+        &self.engine
+    }
+
+    /// Runs one execution exactly like [`Engine::run`], reusing the
+    /// session's worker pool and (when the clique size matches the
+    /// previous run) its arena banks.
+    ///
+    /// # Errors
+    ///
+    /// In strict mode, returns [`SimError::ConstraintViolated`] on the first
+    /// message-width or bandwidth violation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a program panics or addresses a message outside `0..n`.
+    pub fn run<O: Send + 'static>(
+        &mut self,
+        model: ExecutionModel,
+        programs: Vec<Box<dyn NodeProgram<Output = O>>>,
+    ) -> Result<EngineOutcome<O>, SimError> {
+        let config = &self.engine.config;
         let n = programs.len();
-        let policy = if self.config.strict {
+        let policy = if config.strict {
             ViolationPolicy::FailFast
         } else {
-            self.config.policy
+            config.policy
         };
         let mut ctx = ClusterContext::with_policy(model, policy);
         let mut ledger = MessageLedger::new();
@@ -609,7 +684,7 @@ impl<R: Recorder, F: FaultInjector> Engine<R, F> {
                 all_halted: true,
                 timings: PhaseTimings::default(),
                 trace: if R::ENABLED {
-                    self.recorder.summary()
+                    self.engine.recorder.summary()
                 } else {
                     None
                 },
@@ -621,20 +696,39 @@ impl<R: Recorder, F: FaultInjector> Engine<R, F> {
         // Pre-size the per-round ledger so steady-state rounds never grow
         // it (bounded: a capped run amortizes the rest; 512 entries stays
         // comfortably under the allocator's mmap threshold).
-        ledger.reserve_rounds(usize::try_from(self.config.max_rounds.min(512)).unwrap_or(0));
-        let executor = ChunkedExecutor::new(self.config.threads);
+        ledger.reserve_rounds(usize::try_from(config.max_rounds.min(512)).unwrap_or(0));
+        let chunks = exec_chunk_count(n, config.threads);
+        // Recycle the cached banks and merge scratch when the shape
+        // matches. The full reset of *both* banks is load-bearing: the
+        // previous run's final sealed bank would otherwise leak into this
+        // run's round 0 as delivered messages.
+        let (banks, mut scratch) = match self.cache.take() {
+            Some(mut cache) if cache.n == n && cache.chunks == chunks => {
+                for bank in &mut cache.banks {
+                    for arena in bank.iter_mut() {
+                        arena.get_mut().expect("chunk arena poisoned").reset();
+                    }
+                }
+                (cache.banks, cache.scratch)
+            }
+            _ => {
+                let bank = || {
+                    (0..chunks)
+                        .map(|k| RwLock::new(ChunkArena::for_group(n, chunks, k)))
+                        .collect()
+                };
+                ([bank(), bank()], MergeScratch::new(n))
+            }
+        };
         let plane = Arc::new(Plane::new(
             programs,
             bits_limit,
             bandwidth_limit,
-            self.config.threads,
-            Arc::clone(&self.recorder),
-            Arc::clone(&self.injector),
+            chunks,
+            banks,
+            Arc::clone(&self.engine.recorder),
+            Arc::clone(&self.engine.injector),
         ));
-        let chunks = plane.chunks;
-        // Driver-side merge scratch, allocated once: the barrier combines
-        // the per-chunk count shards into it every communicating round.
-        let mut scratch = MergeScratch::new(n);
         // One closure for the whole run; the round counter parameterizes it.
         let step = {
             let plane = Arc::clone(&plane);
@@ -649,17 +743,17 @@ impl<R: Recorder, F: FaultInjector> Engine<R, F> {
         let mut attempt = 0u32;
         // Precomputed once so the retry path allocates nothing per round.
         let retry_label = if F::ENABLED {
-            format!("{}:retry", self.config.label)
+            format!("{}:retry", config.label)
         } else {
             String::new()
         };
         let mut round = 0u64;
-        while round < self.config.max_rounds {
+        while round < config.max_rounds {
             plane.round.store(round, Ordering::Release);
             if F::ENABLED {
                 plane.attempt.store(attempt, Ordering::Release);
             }
-            executor.run_indexed(chunks, &step);
+            self.executor.run_indexed(chunks, &step);
             rounds = round + 1;
             // Barrier: workers have finished (the executor joined). One
             // clock read serves three purposes — the end of every chunk's
@@ -672,7 +766,8 @@ impl<R: Recorder, F: FaultInjector> Engine<R, F> {
                 let sealed_ts = plane.finish_ns[k].load(Ordering::Relaxed);
                 barrier_wait_ns += barrier_ts.saturating_sub(sealed_ts);
                 if R::ENABLED {
-                    self.recorder
+                    self.engine
+                        .recorder
                         .span(k, Phase::BarrierWait, round, sealed_ts, barrier_ts);
                 }
             }
@@ -698,15 +793,15 @@ impl<R: Recorder, F: FaultInjector> Engine<R, F> {
                         .checkpoint_ok;
                 }
                 health.faults_injected += attempt_faults;
-                if damaged && checkpoint_ok && attempt < self.config.retry.max_round_retries {
+                if damaged && checkpoint_ok && attempt < config.retry.max_round_retries {
                     // Roll the round back: charge the wasted attempt (plus
                     // any backoff) under its own label, skip the merge, and
                     // step the same round again from the checkpoint.
                     attempt += 1;
                     health.retries += 1;
-                    ctx.charge_rounds(&retry_label, 1 + self.config.retry.backoff_rounds);
+                    ctx.charge_rounds(&retry_label, 1 + config.retry.backoff_rounds);
                     if R::ENABLED {
-                        self.recorder.count(
+                        self.engine.recorder.count(
                             DRIVER_LANE,
                             Counter::RoundRetries,
                             round,
@@ -723,7 +818,7 @@ impl<R: Recorder, F: FaultInjector> Engine<R, F> {
                 health.faults_committed += attempt_faults;
                 if R::ENABLED {
                     if attempt_faults > 0 {
-                        self.recorder.count(
+                        self.engine.recorder.count(
                             DRIVER_LANE,
                             Counter::FaultsInjected,
                             round,
@@ -733,7 +828,7 @@ impl<R: Recorder, F: FaultInjector> Engine<R, F> {
                     }
                     let crashed = plane.crashed.load(Ordering::Relaxed);
                     if crashed > 0 {
-                        self.recorder.count(
+                        self.engine.recorder.count(
                             DRIVER_LANE,
                             Counter::CrashedNodes,
                             round,
@@ -752,17 +847,22 @@ impl<R: Recorder, F: FaultInjector> Engine<R, F> {
                 &mut scratch,
                 &mut ctx,
                 &mut ledger,
-                &self.config.label,
+                &config.label,
                 bits_limit,
                 barrier_ts,
-                &*self.recorder,
+                &*self.engine.recorder,
             )?;
             check_ns += check_start.elapsed().as_nanos() as u64;
             if R::ENABLED {
                 // cc-lint: allow(determinism) — phase timing for diagnostics; recorded as the check span only
                 let check_end_ts = (Instant::now() - plane.epoch).as_nanos() as u64;
-                self.recorder
-                    .span(DRIVER_LANE, Phase::Check, round, barrier_ts, check_end_ts);
+                self.engine.recorder.span(
+                    DRIVER_LANE,
+                    Phase::Check,
+                    round,
+                    barrier_ts,
+                    check_end_ts,
+                );
             }
             all_halted = merge.halted == n;
             if all_halted {
@@ -786,15 +886,24 @@ impl<R: Recorder, F: FaultInjector> Engine<R, F> {
             check_ns,
             barrier_wait_ns,
         };
+        // Reclaim the banks and scratch for the next same-size run before
+        // the program slots are consumed for their outputs.
+        let Plane { banks, slots, .. } = plane;
+        self.cache = Some(PlaneCache {
+            n,
+            chunks,
+            banks,
+            scratch,
+        });
         Ok(EngineOutcome {
-            outputs: plane.into_outputs(),
+            outputs: finish_outputs(slots, n),
             report: ctx.report(),
             ledger,
             rounds,
             all_halted,
             timings,
             trace: if R::ENABLED {
-                self.recorder.summary()
+                self.engine.recorder.summary()
             } else {
                 None
             },
@@ -885,6 +994,44 @@ mod tests {
             assert_eq!(baseline.ledger, parallel.ledger, "threads = {threads}");
             assert_eq!(baseline.report, parallel.report, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn session_reuse_matches_fresh_runs() {
+        let n = 40;
+        let engine = Engine::new(EngineConfig::with_threads(2));
+        let fresh = engine
+            .run(ExecutionModel::congested_clique(n), ring_programs(n))
+            .unwrap();
+        let mut session = engine.session();
+        // Back-to-back reuses recycle the banks; results must not drift.
+        for reuse in 0..3 {
+            let reused = session
+                .run(ExecutionModel::congested_clique(n), ring_programs(n))
+                .unwrap();
+            assert_eq!(fresh.outputs, reused.outputs, "reuse {reuse}");
+            assert_eq!(fresh.ledger, reused.ledger, "reuse {reuse}");
+            assert_eq!(fresh.report, reused.report, "reuse {reuse}");
+        }
+        // A different clique size mid-session rebuilds the plane
+        // transparently, and coming back recycles again.
+        let small = session
+            .run(ExecutionModel::congested_clique(9), ring_programs(9))
+            .unwrap();
+        assert!(small.all_halted);
+        let back = session
+            .run(ExecutionModel::congested_clique(n), ring_programs(n))
+            .unwrap();
+        assert_eq!(fresh.ledger, back.ledger);
+        // A heavier workload after a lighter one on the same banks.
+        let chatter_fresh = engine
+            .run(ExecutionModel::congested_clique(n), chatter_programs(n))
+            .unwrap();
+        let chatter_reused = session
+            .run(ExecutionModel::congested_clique(n), chatter_programs(n))
+            .unwrap();
+        assert_eq!(chatter_fresh.outputs, chatter_reused.outputs);
+        assert_eq!(chatter_fresh.ledger, chatter_reused.ledger);
     }
 
     #[test]

@@ -139,6 +139,7 @@ pub mod pool;
 pub mod program;
 pub mod programs;
 mod router;
+pub mod service;
 pub mod snapshot;
 
 pub use cc_fault as fault;
@@ -147,10 +148,11 @@ pub use cc_fault::{
 };
 pub use cc_trace as trace;
 pub use columns::{Inbox, MessageColumns, SendSink, Staging};
-pub use engine::{Engine, EngineConfig, EngineHealth, EngineOutcome, PhaseTimings};
+pub use engine::{Engine, EngineConfig, EngineHealth, EngineOutcome, EngineSession, PhaseTimings};
 pub use env::NodeEnv;
 pub use ledger::{MessageLedger, RoundStats};
 pub use message::{word_bits_limit, Message};
 pub use pool::ChunkedExecutor;
 pub use program::{NodeProgram, NodeStatus};
+pub use service::{ColoringService, RequestId, ServiceConfig, ServiceOutcome, ServiceRequest};
 pub use snapshot::{push_option, take_option, SnapshotSink, SnapshotSource};

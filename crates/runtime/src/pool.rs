@@ -61,7 +61,7 @@ impl ChunkedExecutor {
     #[inline]
     pub fn run_indexed<F>(&self, chunks: usize, f: &Arc<F>)
     where
-        F: Fn(usize) + Send + Sync + 'static,
+        F: Fn(usize) + Send + Sync + 'static + ?Sized,
     {
         let Some(pool) = &self.pool else {
             for k in 0..chunks {

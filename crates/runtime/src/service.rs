@@ -1,0 +1,897 @@
+//! Batched multi-instance execution: the [`ColoringService`].
+//!
+//! [`crate::engine::Engine`] executes one instance at a time: one clique,
+//! one plane, one barrier schedule, and the whole setup (worker pool,
+//! arena banks) paid per run. A coloring *service* faces a stream of many
+//! independent instances — most of them small, where per-round fixed costs
+//! (pool dispatch, worker wakeups, the barrier itself) dominate the
+//! per-message work. Because the paper's algorithms are constant-round
+//! with fixed per-round structure, independent instances are trivially
+//! round-alignable: the service packs every in-flight instance into one
+//! shared **super-round**, dispatching all of them to the worker pool in
+//! a single `run_indexed` call, so the pool round-trip and barrier are
+//! paid once per super-round instead of once per instance-round.
+//!
+//! ## Architecture
+//!
+//! * A **submission queue** ([`ColoringService::submit`]) accepts
+//!   independent requests, each carrying its own programs, model, and
+//!   [`EngineConfig`] (width/bandwidth budgets derive from the instance's
+//!   *own* clique size, never the batch).
+//! * A fixed set of **instance slots** holds the in-flight batch. Each
+//!   slot owns two single-chunk arena banks — exactly the solo
+//!   single-threaded plane layout — recycled across occupants (rebuilt
+//!   only when the clique size changes, reset otherwise).
+//! * Each **super-round**, the scheduler admits queued requests into idle
+//!   slots (lowest slot first, submission order), steps every live slot
+//!   one *local* round in one pool dispatch, then merges each slot in
+//!   ascending slot order into that instance's own context and ledger.
+//! * **Retirement** happens the moment an instance's nodes all halt (or
+//!   its round cap is hit): the slot's outputs are finished, the outcome
+//!   is buffered, and the slot is free for the next admission on the very
+//!   next super-round — in-flight neighbors are never disturbed.
+//!
+//! ## Determinism and solo parity
+//!
+//! Per-instance results are **byte-identical to solo runs**: a slot steps
+//! its nodes in ascending id order and merges through the same
+//! [`crate::router`] machinery as the engine, with the instance's own
+//! `word_bits_limit(n)`, bandwidth budget, round charges, violation
+//! labels, and ledger digests. Batch composition, slot assignment, and
+//! service thread count are all unobservable in any outcome (the
+//! `service_equivalence` proptests pin this against `Engine::run` at
+//! threads 1/2/4 with mid-stream retirement and refill). Strict-mode
+//! violations retire only the offending instance — its outcome carries
+//! the error; neighbors keep running.
+//!
+//! Two fields of a solo [`EngineOutcome`] are diagnostics the service does
+//! not reproduce: `timings` (per-phase wall-clock, reported as zeros) and
+//! `trace` (`None`; attach a recorder to the *service* for per-slot
+//! lanes instead). Everything the determinism contract covers — outputs,
+//! report, ledger, rounds, `all_halted` — matches bit for bit.
+//!
+//! ## Observability
+//!
+//! With a recording [`Recorder`] attached, each slot emits step/route
+//! spans on the trace lane of its slot index, and the driver lane carries
+//! two service gauges per super-round: [`Counter::QueueDepth`] (requests
+//! waiting) and [`Counter::Occupancy`] (slots live).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, RwLock};
+// cc-lint: allow(determinism) — wall clock anchors diagnostic trace timestamps only, never any result or digest
+use std::time::Instant;
+
+use cc_fault::NoopInjector;
+use cc_sim::{ClusterContext, ExecutionModel, SimError, ViolationPolicy};
+use cc_trace::{Counter, NoopRecorder, Phase, Recorder, DRIVER_LANE};
+
+use crate::columns::{Inbox, InboxSegment};
+use crate::engine::{EngineConfig, EngineHealth, EngineOutcome, PhaseTimings};
+use crate::env::NodeEnv;
+use crate::ledger::MessageLedger;
+use crate::message::word_bits_limit;
+use crate::pool::ChunkedExecutor;
+use crate::program::{NodeProgram, NodeStatus};
+use crate::router::{merge_round, ChunkArena, MergeScratch};
+
+/// Identifies one submitted request, in submission order starting from 0.
+pub type RequestId = u64;
+
+/// How a [`ColoringService`] is shaped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Instance slots: the maximum number of in-flight instances packed
+    /// into one super-round (clamped to at least 1). Slots at or above
+    /// [`cc_trace::WORKER_LANES`] share the last worker trace lane.
+    pub slots: usize,
+    /// Worker threads the shared super-round dispatch runs on
+    /// (1 = inline, no pool). Per-request `EngineConfig::threads` is
+    /// ignored — batching replaces per-instance parallelism.
+    pub threads: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            slots: 8,
+            threads: 1,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A default-shaped service with `slots` instance slots.
+    #[must_use]
+    pub fn with_slots(slots: usize) -> Self {
+        ServiceConfig {
+            slots,
+            ..ServiceConfig::default()
+        }
+    }
+}
+
+/// One independent coloring/MIS instance submitted to the service.
+pub struct ServiceRequest<O> {
+    /// The accounting model (normally
+    /// [`ExecutionModel::congested_clique`] of the instance's own n).
+    pub model: ExecutionModel,
+    /// One program per clique node of *this* instance.
+    pub programs: Vec<Box<dyn NodeProgram<Output = O>>>,
+    /// The per-instance execution configuration: label, round cap, and
+    /// violation policy all apply exactly as under [`crate::Engine::run`].
+    /// `threads` is ignored (see [`ServiceConfig::threads`]).
+    pub config: EngineConfig,
+}
+
+impl<O> ServiceRequest<O> {
+    /// A request with the default [`EngineConfig`].
+    pub fn new(model: ExecutionModel, programs: Vec<Box<dyn NodeProgram<Output = O>>>) -> Self {
+        ServiceRequest {
+            model,
+            programs,
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Replaces the per-instance execution configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+/// One retired request: the per-instance outcome plus its service-side
+/// scheduling coordinates.
+pub struct ServiceOutcome<O> {
+    /// The request this outcome belongs to.
+    pub id: RequestId,
+    /// The instance's result, bit-identical (outputs, report, ledger,
+    /// rounds, `all_halted`) to a solo [`crate::Engine::run`] under the
+    /// request's own config — except `timings` (zeros) and `trace`
+    /// (`None`), which are solo-run diagnostics. Strict-mode violations
+    /// surface here as [`SimError`] without disturbing other instances.
+    pub result: Result<EngineOutcome<O>, SimError>,
+    /// Super-round at which the instance was admitted to a slot.
+    pub admitted_super_round: u64,
+    /// Super-round during which the instance retired (equals
+    /// `admitted_super_round` + local rounds - 1 for stepped instances).
+    pub finished_super_round: u64,
+}
+
+/// Per-slot worker-side state: the occupant's programs and halt flags.
+/// Only the worker stepping the slot touches it, under one lock per
+/// super-round.
+struct SlotWork<O> {
+    programs: Vec<Option<Box<dyn NodeProgram<Output = O>>>>,
+    halted: Vec<bool>,
+    n: usize,
+    bits_limit: u32,
+    bandwidth_limit: usize,
+    /// The occupant's local round (its solo round counter); parity
+    /// selects the staging bank, exactly as in the engine.
+    local_round: u64,
+}
+
+/// One instance slot of the shared plane: two single-chunk arena banks
+/// (the solo single-threaded layout, recycled across occupants) plus the
+/// occupant's work state.
+struct ServiceSlot<O> {
+    banks: [RwLock<ChunkArena>; 2],
+    work: Mutex<Option<SlotWork<O>>>,
+}
+
+/// The Arc-shared batch plane: every worker references it through one
+/// clone for the service's whole lifetime, so super-rounds allocate
+/// nothing on the dispatch path.
+struct ServicePlane<O, R> {
+    slots: Vec<ServiceSlot<O>>,
+    /// Slot ids live this super-round, ascending: dispatch index `i`
+    /// steps slot `live[i]`. Rewritten by the driver between dispatches.
+    live: RwLock<Vec<u32>>,
+    /// The service's timestamp origin for trace events.
+    // cc-lint: allow(determinism) — the epoch anchors diagnostic timestamps only, never any result or digest
+    epoch: Instant,
+    recorder: Arc<R>,
+}
+
+impl<O: Send + 'static, R: Recorder> ServicePlane<O, R> {
+    // The per-super-round worker body: step one live slot one local round.
+    // cc-lint: region(no_alloc)
+    fn step_dispatch(&self, idx: usize) {
+        let slot = self.live.read().expect("live list poisoned")[idx];
+        self.step_slot(slot as usize);
+    }
+
+    /// Steps every live node of `slot`'s occupant for its current local
+    /// round and seals the slot's staging arena — the single-chunk mirror
+    /// of the engine's `step_chunk`, with the slot index as the trace
+    /// lane.
+    fn step_slot(&self, slot: usize) {
+        let state = &self.slots[slot];
+        let mut work = state.work.lock().expect("slot work poisoned");
+        let work = work.as_mut().expect("live slot without work");
+        let round = work.local_round;
+        let mut arena = state.banks[(round & 1) as usize]
+            .write()
+            .expect("slot arena poisoned");
+        arena.reset();
+        let delivered = state.banks[(1 - (round & 1)) as usize]
+            .read()
+            .expect("slot arena poisoned");
+        // cc-lint: allow(determinism) — phase timing for diagnostics; recorded as the step span only
+        let step_start = Instant::now();
+        // One sender chunk per slot, so every inbox is at most one
+        // contiguous segment.
+        let mut segments: [InboxSegment<'_>; 1] = [(&[], &[])];
+        for i in 0..work.n {
+            if work.halted[i] {
+                arena.note_halted();
+                continue;
+            }
+            let segment = delivered.slices_for(i);
+            let filled = usize::from(!segment.0.is_empty());
+            segments[0] = segment;
+            let inbox = Inbox::new(i as u32, &segments[..filled]);
+            let before = arena.staged();
+            let program = work.programs[i].as_mut().expect("program taken early");
+            let status = {
+                let mut env = NodeEnv::new(i as u32, work.n, round, inbox, arena.stage_mut());
+                program.on_round(&mut env)
+            };
+            let sent = arena.staged() - before;
+            arena.note_sender(i as u32, sent, work.bandwidth_limit);
+            if status == NodeStatus::Halt {
+                work.halted[i] = true;
+                arena.note_halted();
+            }
+        }
+        // cc-lint: allow(determinism) — phase timing for diagnostics; recorded as trace spans only
+        let route_start = Instant::now();
+        let route_ts = (route_start - self.epoch).as_nanos() as u64;
+        arena.seal(
+            round,
+            0,
+            work.bits_limit,
+            slot,
+            route_ts,
+            &*self.recorder,
+            &NoopInjector,
+        );
+        if R::ENABLED {
+            let step_ts = (step_start - self.epoch).as_nanos() as u64;
+            // cc-lint: allow(determinism) — phase timing for diagnostics; recorded as the route span only
+            let sealed_ts = (Instant::now() - self.epoch).as_nanos() as u64;
+            self.recorder
+                .span(slot, Phase::Step, round, step_ts, route_ts);
+            self.recorder
+                .span(slot, Phase::Route, round, route_ts, sealed_ts);
+        }
+        work.local_round = round + 1;
+    }
+    // cc-lint: end_region
+}
+
+/// Driver-side state of one occupied slot: the occupant's accounting
+/// context, ledger, and round bookkeeping. Lives outside the shared
+/// plane — only the driving thread touches it.
+struct SlotDriver {
+    id: RequestId,
+    label: String,
+    ctx: ClusterContext,
+    ledger: MessageLedger,
+    bits_limit: u32,
+    n: usize,
+    max_rounds: u64,
+    local_round: u64,
+    admitted_super_round: u64,
+}
+
+/// A batched multi-instance execution service over one shared message
+/// plane — see the [module docs](crate::service) for the architecture,
+/// the scheduling policy, and the solo-parity guarantee.
+///
+/// The service is a *driver-stepped* loop: [`ColoringService::submit`]
+/// enqueues requests, every [`ColoringService::step`] executes one
+/// super-round (admit → dispatch → merge → retire), and
+/// [`ColoringService::drain_finished`] yields retired outcomes. The
+/// caller owns the pacing, which is what lets `cc-bench` measure
+/// offered-load sweeps without the service owning a clock.
+pub struct ColoringService<O, R: Recorder = NoopRecorder> {
+    plane: Arc<ServicePlane<O, R>>,
+    executor: ChunkedExecutor,
+    /// The one dispatch closure, built at construction: super-rounds
+    /// clone the `Arc`, never re-create the closure.
+    step: Arc<dyn Fn(usize) + Send + Sync>,
+    queue: VecDeque<(RequestId, ServiceRequest<O>)>,
+    drivers: Vec<Option<SlotDriver>>,
+    /// Per-slot merge scratch, recycled with the slot's arenas.
+    scratches: Vec<MergeScratch>,
+    finished: Vec<ServiceOutcome<O>>,
+    next_id: RequestId,
+    super_round: u64,
+}
+
+impl<O: Send + 'static> ColoringService<O> {
+    /// A service with no trace recording.
+    pub fn new(config: ServiceConfig) -> Self {
+        Self::with_recorder(config, Arc::new(NoopRecorder))
+    }
+}
+
+impl<O: Send + 'static, R: Recorder> ColoringService<O, R> {
+    /// A service recording per-slot spans and driver-lane queue/occupancy
+    /// gauges into `recorder`.
+    pub fn with_recorder(config: ServiceConfig, recorder: Arc<R>) -> Self {
+        let slots = config.slots.max(1);
+        let plane = Arc::new(ServicePlane {
+            slots: (0..slots)
+                .map(|_| ServiceSlot {
+                    banks: [
+                        RwLock::new(ChunkArena::for_group(0, 1, 0)),
+                        RwLock::new(ChunkArena::for_group(0, 1, 0)),
+                    ],
+                    work: Mutex::new(None),
+                })
+                .collect(),
+            live: RwLock::new(Vec::with_capacity(slots)),
+            // cc-lint: allow(determinism) — the epoch anchors diagnostic timestamps only, never any result or digest
+            epoch: Instant::now(),
+            recorder,
+        });
+        let step: Arc<dyn Fn(usize) + Send + Sync> = {
+            let plane = Arc::clone(&plane);
+            Arc::new(move |idx| plane.step_dispatch(idx))
+        };
+        ColoringService {
+            plane,
+            executor: ChunkedExecutor::new(config.threads),
+            step,
+            queue: VecDeque::new(),
+            drivers: (0..slots).map(|_| None).collect(),
+            scratches: (0..slots).map(|_| MergeScratch::new(0)).collect(),
+            finished: Vec::new(),
+            next_id: 0,
+            super_round: 0,
+        }
+    }
+
+    /// Enqueues one instance; it is admitted to a slot on a subsequent
+    /// [`ColoringService::step`], in submission order.
+    pub fn submit(&mut self, request: ServiceRequest<O>) -> RequestId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push_back((id, request));
+        id
+    }
+
+    /// Requests waiting for a slot.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Slots currently occupied by in-flight instances.
+    pub fn occupancy(&self) -> usize {
+        self.drivers.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Total instance slots.
+    pub fn slots(&self) -> usize {
+        self.drivers.len()
+    }
+
+    /// Whether nothing is queued or in flight (retired outcomes may still
+    /// be waiting in [`ColoringService::drain_finished`]).
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.occupancy() == 0
+    }
+
+    /// Super-rounds executed so far.
+    pub fn super_rounds(&self) -> u64 {
+        self.super_round
+    }
+
+    /// Executes one super-round — admit queued requests into idle slots,
+    /// step every live slot one local round in one shared pool dispatch,
+    /// merge each slot into its own ledger, retire finished instances —
+    /// and returns how many instances retired. A step with nothing queued
+    /// and nothing live is a no-op returning 0.
+    pub fn step(&mut self) -> usize {
+        // Admission: lowest idle slot first, submission order. Degenerate
+        // requests (empty cliques, zero round caps) complete immediately
+        // without occupying a slot, mirroring the engine's early returns.
+        while !self.queue.is_empty() && self.admit_next() {}
+        let live_count = {
+            let mut live = self.plane.live.write().expect("live list poisoned");
+            live.clear();
+            for (slot, driver) in self.drivers.iter().enumerate() {
+                if driver.is_some() {
+                    live.push(slot as u32);
+                }
+            }
+            live.len()
+        };
+        if R::ENABLED {
+            // cc-lint: allow(determinism) — gauge timestamps are diagnostics only, never any result or digest
+            let ts = (Instant::now() - self.plane.epoch).as_nanos() as u64;
+            let recorder = &self.plane.recorder;
+            recorder.count(
+                DRIVER_LANE,
+                Counter::QueueDepth,
+                self.super_round,
+                ts,
+                self.queue.len() as u64,
+            );
+            recorder.count(
+                DRIVER_LANE,
+                Counter::Occupancy,
+                self.super_round,
+                ts,
+                live_count as u64,
+            );
+        }
+        if live_count == 0 {
+            return 0;
+        }
+        self.executor.run_indexed(live_count, &self.step);
+        // Barrier: merge every live slot in ascending slot order, each
+        // into its own context and ledger — the per-instance mirror of
+        // the engine's driver merge.
+        // cc-lint: allow(determinism) — merge timestamps feed driver-lane telemetry only, never any result or digest
+        let barrier_ts = (Instant::now() - self.plane.epoch).as_nanos() as u64;
+        let mut retired = 0usize;
+        for slot in 0..self.drivers.len() {
+            let verdict = {
+                let Some(driver) = self.drivers[slot].as_mut() else {
+                    continue;
+                };
+                let round = driver.local_round;
+                let bank = &self.plane.slots[slot].banks[(round & 1) as usize];
+                let merge = merge_round(
+                    round,
+                    std::slice::from_ref(bank),
+                    &mut self.scratches[slot],
+                    &mut driver.ctx,
+                    &mut driver.ledger,
+                    &driver.label,
+                    driver.bits_limit,
+                    barrier_ts,
+                    &*self.plane.recorder,
+                );
+                match merge {
+                    Err(err) => Some((round, Err(err))),
+                    Ok(merge) if merge.halted == driver.n => Some((round, Ok(true))),
+                    Ok(_) if round + 1 >= driver.max_rounds => Some((round, Ok(false))),
+                    Ok(_) => {
+                        driver.local_round = round + 1;
+                        None
+                    }
+                }
+            };
+            if let Some((final_round, verdict)) = verdict {
+                self.retire(slot, final_round, verdict);
+                retired += 1;
+            }
+        }
+        self.super_round += 1;
+        retired
+    }
+
+    /// Steps until nothing is queued or in flight, then returns every
+    /// buffered outcome in retirement order.
+    pub fn run_until_idle(&mut self) -> Vec<ServiceOutcome<O>> {
+        while !self.is_idle() {
+            self.step();
+        }
+        self.finished.drain(..).collect()
+    }
+
+    /// Drains the outcomes of every instance retired since the last
+    /// drain, in retirement order (ties broken by slot order).
+    pub fn drain_finished(&mut self) -> std::vec::Drain<'_, ServiceOutcome<O>> {
+        self.finished.drain(..)
+    }
+
+    /// Admits the queue's front request into the lowest idle slot.
+    /// Returns false (leaving the queue untouched) when every slot is
+    /// occupied.
+    fn admit_next(&mut self) -> bool {
+        let Some(slot) = self.drivers.iter().position(|d| d.is_none()) else {
+            return false;
+        };
+        let (id, request) = self.queue.pop_front().expect("checked non-empty");
+        let n = request.programs.len();
+        let config = request.config;
+        let policy = if config.strict {
+            ViolationPolicy::FailFast
+        } else {
+            config.policy
+        };
+        let ctx = ClusterContext::with_policy(request.model, policy);
+        if n == 0 || config.max_rounds == 0 {
+            // Engine parity for degenerate runs: no rounds execute, the
+            // programs are finished as-is (`all_halted` only for n = 0).
+            let outputs = request.programs.into_iter().map(|p| p.finish()).collect();
+            self.finished.push(ServiceOutcome {
+                id,
+                result: Ok(EngineOutcome {
+                    outputs,
+                    report: ctx.report(),
+                    ledger: MessageLedger::new(),
+                    rounds: 0,
+                    all_halted: n == 0,
+                    timings: PhaseTimings::default(),
+                    trace: None,
+                    health: EngineHealth::default(),
+                }),
+                admitted_super_round: self.super_round,
+                finished_super_round: self.super_round,
+            });
+            return true;
+        }
+        let mut ledger = MessageLedger::new();
+        // The same steady-state pre-sizing as the engine (and the same
+        // 512-entry bound).
+        ledger.reserve_rounds(usize::try_from(config.max_rounds.min(512)).unwrap_or(0));
+        // Recycle the slot's arenas across occupants: rebuild only when
+        // the clique size changes, reset (both banks — the previous
+        // occupant's final sealed bank must not leak) otherwise.
+        let rebuilt = {
+            let arena = self.plane.slots[slot].banks[0]
+                .read()
+                .expect("slot arena poisoned");
+            arena.n() != n
+        };
+        for bank in &self.plane.slots[slot].banks {
+            let mut arena = bank.write().expect("slot arena poisoned");
+            if rebuilt {
+                *arena = ChunkArena::for_group(n, 1, 0);
+            } else {
+                arena.reset();
+            }
+        }
+        if rebuilt {
+            self.scratches[slot] = MergeScratch::new(n);
+        }
+        let work = SlotWork {
+            programs: request.programs.into_iter().map(Some).collect(),
+            halted: vec![false; n],
+            n,
+            bits_limit: word_bits_limit(n),
+            bandwidth_limit: ctx.model().per_round_bandwidth_words,
+            local_round: 0,
+        };
+        let bits_limit = work.bits_limit;
+        *self.plane.slots[slot]
+            .work
+            .lock()
+            .expect("slot work poisoned") = Some(work);
+        self.drivers[slot] = Some(SlotDriver {
+            id,
+            label: config.label,
+            ctx,
+            ledger,
+            bits_limit,
+            n,
+            max_rounds: config.max_rounds,
+            local_round: 0,
+            admitted_super_round: self.super_round,
+        });
+        true
+    }
+
+    /// Retires `slot`'s occupant after its final merged round, buffering
+    /// the outcome and freeing the slot for the next admission.
+    fn retire(&mut self, slot: usize, final_round: u64, verdict: Result<bool, SimError>) {
+        let driver = self.drivers[slot].take().expect("retiring an idle slot");
+        let work = self.plane.slots[slot]
+            .work
+            .lock()
+            .expect("slot work poisoned")
+            .take()
+            .expect("retiring a slot without work");
+        let result = match verdict {
+            Err(err) => Err(err),
+            Ok(all_halted) => {
+                let mut outputs = Vec::with_capacity(work.n);
+                for program in work.programs {
+                    outputs.push(program.expect("program already finished").finish());
+                }
+                Ok(EngineOutcome {
+                    outputs,
+                    report: driver.ctx.report(),
+                    ledger: driver.ledger,
+                    rounds: final_round + 1,
+                    all_halted,
+                    timings: PhaseTimings::default(),
+                    trace: None,
+                    health: EngineHealth::default(),
+                })
+            }
+        };
+        self.finished.push(ServiceOutcome {
+            id: driver.id,
+            result,
+            admitted_super_round: driver.admitted_super_round,
+            finished_super_round: self.super_round,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+
+    /// Each node sends its id times a counter to both ring neighbors for
+    /// a fixed number of rounds (the engine tests' Chatter, re-declared
+    /// here to keep the modules independent).
+    struct Chatter {
+        left: u32,
+        right: u32,
+        until: u64,
+        checksum: u64,
+    }
+
+    impl NodeProgram for Chatter {
+        type Output = u64;
+
+        fn on_round(&mut self, env: &mut NodeEnv<'_>) -> NodeStatus {
+            for m in env.inbox() {
+                self.checksum = self.checksum.wrapping_add(m.word ^ u64::from(m.src));
+            }
+            if env.round() >= self.until {
+                return NodeStatus::Halt;
+            }
+            let word = (u64::from(env.node()) + env.round()) & 0xffff;
+            let (left, right) = (self.left, self.right);
+            env.send(left, word);
+            env.send(right, word);
+            NodeStatus::Continue
+        }
+
+        fn finish(self: Box<Self>) -> u64 {
+            self.checksum
+        }
+    }
+
+    fn chatter_programs(n: usize, until: u64) -> Vec<Box<dyn NodeProgram<Output = u64>>> {
+        (0..n)
+            .map(|i| {
+                Box::new(Chatter {
+                    left: ((i + n - 1) % n) as u32,
+                    right: ((i + 1) % n) as u32,
+                    until,
+                    checksum: 0,
+                }) as _
+            })
+            .collect()
+    }
+
+    fn request(n: usize, until: u64) -> ServiceRequest<u64> {
+        ServiceRequest::new(
+            ExecutionModel::congested_clique(n),
+            chatter_programs(n, until),
+        )
+    }
+
+    fn solo(n: usize, until: u64) -> EngineOutcome<u64> {
+        Engine::default()
+            .run(
+                ExecutionModel::congested_clique(n),
+                chatter_programs(n, until),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn a_batch_of_heterogeneous_instances_matches_solo_runs() {
+        let mut service = ColoringService::new(ServiceConfig::with_slots(3));
+        let specs = [(7usize, 4u64), (19, 6), (11, 3), (30, 9), (7, 4)];
+        for &(n, until) in &specs {
+            service.submit(request(n, until));
+        }
+        let outcomes = service.run_until_idle();
+        assert_eq!(outcomes.len(), specs.len());
+        for outcome in outcomes {
+            let (n, until) = specs[outcome.id as usize];
+            let reference = solo(n, until);
+            let got = outcome.result.expect("lenient batch run errored");
+            assert_eq!(got.outputs, reference.outputs, "request {n}/{until}");
+            assert_eq!(got.ledger, reference.ledger, "request {n}/{until}");
+            assert_eq!(got.report, reference.report, "request {n}/{until}");
+            assert_eq!(got.rounds, reference.rounds);
+            assert!(got.all_halted);
+        }
+    }
+
+    #[test]
+    fn retirement_frees_slots_for_queued_requests_mid_stream() {
+        let mut service = ColoringService::new(ServiceConfig::with_slots(3));
+        // Two long instances plus one short one fill the slots; the last
+        // short one waits for the first retirement.
+        service.submit(request(10, 12));
+        service.submit(request(12, 12));
+        service.submit(request(6, 2));
+        service.submit(request(8, 2));
+        service.step();
+        assert_eq!(service.occupancy(), 3);
+        assert_eq!(service.queue_depth(), 1);
+        let outcomes = service.run_until_idle();
+        assert_eq!(outcomes.len(), 4);
+        // The waiting instance was admitted into the slot the first short
+        // one freed, strictly after the long ones started, and retired
+        // without disturbing them.
+        let by_id = |id: u64| outcomes.iter().find(|o| o.id == id).unwrap();
+        assert!(by_id(3).admitted_super_round > by_id(0).admitted_super_round);
+        assert!(by_id(3).finished_super_round < by_id(0).finished_super_round);
+        for outcome in &outcomes {
+            assert!(outcome.result.is_ok());
+        }
+        // The long instances bound the schedule: 13 local rounds each.
+        assert_eq!(service.super_rounds(), 13);
+    }
+
+    #[test]
+    fn service_thread_count_is_unobservable() {
+        let specs = [(9usize, 5u64), (17, 7), (25, 4), (5, 9), (13, 6)];
+        let reference: Vec<Vec<u64>> = {
+            let mut service = ColoringService::new(ServiceConfig::with_slots(4));
+            for &(n, until) in &specs {
+                service.submit(request(n, until));
+            }
+            let mut outcomes = service.run_until_idle();
+            outcomes.sort_by_key(|o| o.id);
+            outcomes
+                .into_iter()
+                .map(|o| o.result.unwrap().outputs)
+                .collect()
+        };
+        for threads in [2usize, 4] {
+            let mut service = ColoringService::new(ServiceConfig { slots: 4, threads });
+            for &(n, until) in &specs {
+                service.submit(request(n, until));
+            }
+            let mut outcomes = service.run_until_idle();
+            outcomes.sort_by_key(|o| o.id);
+            for (outcome, expected) in outcomes.into_iter().zip(&reference) {
+                assert_eq!(
+                    &outcome.result.unwrap().outputs,
+                    expected,
+                    "threads {threads}"
+                );
+            }
+        }
+    }
+
+    /// A program that sends one absurdly wide word in round 0.
+    struct WideSender;
+
+    impl NodeProgram for WideSender {
+        type Output = ();
+
+        fn on_round(&mut self, env: &mut NodeEnv<'_>) -> NodeStatus {
+            if env.node() == 0 && env.round() == 0 {
+                env.send(1, u64::MAX);
+            }
+            NodeStatus::Halt
+        }
+
+        fn finish(self: Box<Self>) {}
+    }
+
+    #[test]
+    fn strict_violations_retire_only_the_offending_instance() {
+        let mut service = ColoringService::new(ServiceConfig::with_slots(3));
+        let strict = EngineConfig {
+            strict: true,
+            ..EngineConfig::default()
+        };
+        service.submit(request(10, 5));
+        let bad_programs: Vec<Box<dyn NodeProgram<Output = u64>>> = vec![
+            Box::new(Chatter {
+                left: 1,
+                right: 1,
+                until: 0,
+                checksum: 0,
+            }),
+            Box::new(Chatter {
+                left: 0,
+                right: 0,
+                until: 0,
+                checksum: 0,
+            }),
+        ];
+        // Reuse Chatter for the healthy instance; the wide sender needs
+        // its own service because outputs are homogeneous per service.
+        drop(bad_programs);
+        let mut wide_service = ColoringService::new(ServiceConfig::with_slots(2));
+        let wide: Vec<Box<dyn NodeProgram<Output = ()>>> =
+            vec![Box::new(WideSender), Box::new(WideSender)];
+        let ok: Vec<Box<dyn NodeProgram<Output = ()>>> =
+            vec![Box::new(WideSender), Box::new(WideSender)];
+        let bad_id = wide_service.submit(
+            ServiceRequest::new(ExecutionModel::congested_clique(2), wide)
+                .with_config(strict.clone()),
+        );
+        let ok_id =
+            wide_service.submit(ServiceRequest::new(ExecutionModel::congested_clique(2), ok));
+        let outcomes = wide_service.run_until_idle();
+        let strict_outcome = outcomes.iter().find(|o| o.id == bad_id).unwrap();
+        assert!(matches!(
+            strict_outcome.result,
+            Err(SimError::ConstraintViolated(_))
+        ));
+        let lenient_outcome = outcomes.iter().find(|o| o.id == ok_id).unwrap();
+        let lenient = lenient_outcome.result.as_ref().unwrap();
+        assert!(!lenient.report.within_limits());
+        assert_eq!(lenient.report.violations.len(), 1);
+
+        let healthy = service.run_until_idle();
+        assert_eq!(healthy.len(), 1);
+        assert!(healthy[0].result.is_ok());
+    }
+
+    #[test]
+    fn degenerate_requests_complete_without_occupying_slots() {
+        let mut service: ColoringService<u64> = ColoringService::new(ServiceConfig::with_slots(1));
+        let empty = service.submit(ServiceRequest::new(
+            ExecutionModel::congested_clique(1),
+            Vec::new(),
+        ));
+        let capped = service.submit(request(5, 9).with_config(EngineConfig {
+            max_rounds: 0,
+            ..EngineConfig::default()
+        }));
+        service.step();
+        assert!(service.is_idle());
+        let outcomes: Vec<_> = service.drain_finished().collect();
+        assert_eq!(outcomes.len(), 2);
+        let empty_outcome = outcomes.iter().find(|o| o.id == empty).unwrap();
+        let empty_result = empty_outcome.result.as_ref().unwrap();
+        assert!(empty_result.all_halted);
+        assert_eq!(empty_result.rounds, 0);
+        let capped_outcome = outcomes.iter().find(|o| o.id == capped).unwrap();
+        let capped_result = capped_outcome.result.as_ref().unwrap();
+        assert!(!capped_result.all_halted);
+        assert_eq!(capped_result.outputs.len(), 5);
+    }
+
+    #[test]
+    fn queue_and_occupancy_gauges_land_on_the_driver_lane() {
+        use cc_trace::{RingRecorder, TraceEvent};
+        let rec = Arc::new(RingRecorder::default());
+        let mut service: ColoringService<u64, _> =
+            ColoringService::with_recorder(ServiceConfig::with_slots(1), Arc::clone(&rec));
+        service.submit(request(6, 3));
+        service.submit(request(6, 3));
+        service.step();
+        let events = rec.events();
+        let driver_lane = u16::try_from(DRIVER_LANE).unwrap();
+        let gauge = |counter: Counter| {
+            events.iter().find_map(|e| match *e {
+                TraceEvent::Count {
+                    lane,
+                    counter: c,
+                    value,
+                    ..
+                } if lane == driver_lane && c == counter => Some(value),
+                _ => None,
+            })
+        };
+        // One request admitted to the single slot, one still queued.
+        assert_eq!(gauge(Counter::QueueDepth), Some(1));
+        assert_eq!(gauge(Counter::Occupancy), Some(1));
+        // Per-slot step spans land on the slot's lane.
+        assert!(events.iter().any(|e| matches!(
+            *e,
+            TraceEvent::Span {
+                lane: 0,
+                phase: Phase::Step,
+                ..
+            }
+        )));
+        service.run_until_idle();
+    }
+}

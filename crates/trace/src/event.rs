@@ -76,14 +76,19 @@ pub enum Counter {
     /// lane.
     CheckpointWords,
     /// Nodes observed crash-stopped as of this round (cumulative).
+    CrashedNodes,
+    /// Requests waiting in the service submission queue as of this
+    /// super-round (a driver-lane gauge, not a sum).
+    QueueDepth,
+    /// Instance slots occupied this super-round (a driver-lane gauge).
     // New variants append here: the packed-event code is the declaration
     // index, and old captures must keep decoding.
-    CrashedNodes,
+    Occupancy,
 }
 
 impl Counter {
     /// All counters, in display order.
-    pub const ALL: [Counter; 10] = [
+    pub const ALL: [Counter; 12] = [
         Counter::Messages,
         Counter::Words,
         Counter::Rescans,
@@ -94,6 +99,8 @@ impl Counter {
         Counter::RoundRetries,
         Counter::CheckpointWords,
         Counter::CrashedNodes,
+        Counter::QueueDepth,
+        Counter::Occupancy,
     ];
 
     /// Stable display name (also the Perfetto counter-track name).
@@ -110,6 +117,8 @@ impl Counter {
             Counter::RoundRetries => "round-retries",
             Counter::CheckpointWords => "checkpoint-words",
             Counter::CrashedNodes => "crashed-nodes",
+            Counter::QueueDepth => "queue-depth",
+            Counter::Occupancy => "slot-occupancy",
         }
     }
 

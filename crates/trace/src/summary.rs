@@ -49,6 +49,12 @@ pub struct RoundTrace {
     /// Nodes crash-stopped as of this round (cumulative; one driver
     /// emission per round, kept as a value rather than summed).
     pub crashed_nodes: u64,
+    /// Requests waiting in the service queue this super-round (gauge;
+    /// zero outside service-mode runs).
+    pub queue_depth: u64,
+    /// Instance slots occupied this super-round (gauge; zero outside
+    /// service-mode runs).
+    pub occupancy: u64,
 }
 
 impl RoundTrace {
@@ -78,6 +84,9 @@ impl RoundTrace {
             Counter::CheckpointWords => self.checkpoint_words += value,
             // Cumulative driver emission; keep the latest value.
             Counter::CrashedNodes => self.crashed_nodes = value,
+            // Service-mode gauges: one driver emission per super-round.
+            Counter::QueueDepth => self.queue_depth = value,
+            Counter::Occupancy => self.occupancy = value,
         }
     }
 }
